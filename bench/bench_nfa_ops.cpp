@@ -1,0 +1,125 @@
+//===- bench_nfa_ops.cpp - Automata substrate characterization ------------===//
+//
+// Experiment E10 (DESIGN.md): microbenchmarks of the low-level machine
+// operations every decision-procedure step is built from. These are the
+// "basic operations over NFAs" of paper Figure 3 plus the boolean-closure
+// operations the comparisons and complements rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/NfaOps.h"
+#include "regex/RegexCompiler.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace dprle;
+
+namespace {
+
+/// A literal chain of length N over a small alphabet (like the tracked
+/// string constants of the evaluation).
+Nfa literalChain(unsigned N) {
+  std::string S;
+  for (unsigned I = 0; I != N; ++I)
+    S += static_cast<char>('a' + I % 7);
+  return Nfa::literal(S);
+}
+
+/// A nondeterministic search machine: Sigma* <chain> Sigma*.
+Nfa searchChain(unsigned N) {
+  Nfa Core = literalChain(N);
+  return concat(concat(Nfa::sigmaStar(), Core), Nfa::sigmaStar())
+      .withoutEpsilonTransitions();
+}
+
+void BM_Intersect(benchmark::State &State) {
+  Nfa A = searchChain(State.range(0));
+  Nfa B = searchLanguage("'").withoutEpsilonTransitions();
+  for (auto _ : State) {
+    Nfa M = intersect(A, B);
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_Concat(benchmark::State &State) {
+  Nfa A = literalChain(State.range(0));
+  Nfa B = literalChain(State.range(0));
+  for (auto _ : State) {
+    Nfa M = concat(A, B, /*Marker=*/1);
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_Trim(benchmark::State &State) {
+  Nfa A = intersect(searchChain(State.range(0)),
+                    searchLanguage("'").withoutEpsilonTransitions());
+  for (auto _ : State) {
+    Nfa M = A.trimmed();
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_Determinize(benchmark::State &State) {
+  Nfa A = searchChain(State.range(0));
+  for (auto _ : State) {
+    Dfa D = determinize(A);
+    benchmark::DoNotOptimize(D);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_Minimize(benchmark::State &State) {
+  Nfa A = searchChain(State.range(0));
+  for (auto _ : State) {
+    Nfa M = minimized(A);
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_Complement(benchmark::State &State) {
+  Nfa A = searchChain(State.range(0));
+  for (auto _ : State) {
+    Nfa M = complement(A);
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_SubsetCheck(benchmark::State &State) {
+  Nfa Small = literalChain(State.range(0));
+  Nfa Big = searchChain(State.range(0) / 2);
+  for (auto _ : State) {
+    bool R = isSubsetOf(Small, Big);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_ShortestString(benchmark::State &State) {
+  Nfa A = intersect(searchChain(State.range(0)),
+                    searchLanguage("[0-9]$").withoutEpsilonTransitions());
+  for (auto _ : State) {
+    auto S = shortestString(A);
+    benchmark::DoNotOptimize(S);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_Concat)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_Intersect)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_Trim)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_Determinize)->Range(64, 1024)->Complexity();
+BENCHMARK(BM_Minimize)->Range(64, 1024)->Complexity();
+BENCHMARK(BM_Complement)->Range(64, 1024)->Complexity();
+BENCHMARK(BM_SubsetCheck)->Range(64, 1024)->Complexity();
+BENCHMARK(BM_ShortestString)->Range(64, 1024)->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+//===- bench_rma_depth.cpp - Section 3.5 complexity claims (general RMA) --===//
+//
+// Experiment E6b (DESIGN.md): the paper's analysis of *inductive*
+// concat_intersect application. For the two-call system
+//
+//   v1 <= c1, v2 <= c2, v3 <= c3, v1.v2 <= c4, v1.v2.v3 <= c5
+//
+// the paper derives O(Q^3) states visited to produce the first solution
+// and O(Q^5) to enumerate all solutions, and notes that the total cost
+// grows exponentially with the number of inductive calls. The benchmarks
+// sweep machine size Q at fixed depth 2 (the paper's example) and sweep
+// the concatenation depth at fixed Q.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/OpStats.h"
+#include "regex/RegexCompiler.h"
+#include "solver/Solver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace dprle;
+
+namespace {
+
+/// a^{0..N} as a deterministic chain.
+Nfa boundedAs(unsigned N) {
+  Nfa M;
+  StateId Prev = M.start();
+  M.setAccepting(Prev);
+  for (unsigned I = 0; I != N; ++I) {
+    StateId Next = M.addState();
+    M.addTransition(Prev, CharSet::singleton('a'), Next);
+    M.setAccepting(Next);
+    Prev = Next;
+  }
+  return M;
+}
+
+/// Builds the paper's Section 3.5 two-call system scaled by Q, or a
+/// deeper variant with `Depth` nested prefixes:
+///   v1..vD with vi <= a{0..Q}, and for each prefix length k >= 2:
+///   v1...vk <= a{0..kQ}.
+Problem depthSystem(unsigned Q, unsigned Depth) {
+  Problem P;
+  std::vector<VarId> Vars;
+  for (unsigned I = 0; I != Depth; ++I) {
+    VarId V = P.addVariable("v" + std::to_string(I + 1));
+    Vars.push_back(V);
+    P.addConstraint({P.var(V)}, boundedAs(Q));
+  }
+  for (unsigned K = 2; K <= Depth; ++K) {
+    std::vector<Term> Lhs;
+    for (unsigned I = 0; I != K; ++I)
+      Lhs.push_back(P.var(Vars[I]));
+    P.addConstraint(std::move(Lhs), boundedAs(K * Q));
+  }
+  return P;
+}
+
+void runSystem(benchmark::State &State, unsigned Q, unsigned Depth,
+               size_t MaxSolutions) {
+  Problem P = depthSystem(Q, Depth);
+  SolverOptions Opts;
+  Opts.MaxSolutions = MaxSolutions;
+  // Keep the measurements about the core algorithm, not the widening.
+  Opts.MaximizeSolutions = false;
+  Solver S(Opts);
+  OpStats::global().reset();
+  uint64_t Solutions = 0;
+  for (auto _ : State) {
+    SolveResult R = S.solve(P);
+    Solutions = R.Assignments.size();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["Q"] = Q;
+  State.counters["Depth"] = Depth;
+  State.counters["Solutions"] = Solutions;
+  State.counters["TotalStates"] = benchmark::Counter(
+      OpStats::global().totalStatesVisited() / State.iterations());
+}
+
+void BM_TwoCallFirstSolution(benchmark::State &State) {
+  runSystem(State, State.range(0), /*Depth=*/3, /*MaxSolutions=*/1);
+}
+
+void BM_TwoCallAllSolutions(benchmark::State &State) {
+  runSystem(State, State.range(0), /*Depth=*/3, SIZE_MAX);
+}
+
+void BM_DepthSweepFirstSolution(benchmark::State &State) {
+  runSystem(State, /*Q=*/6, State.range(0), /*MaxSolutions=*/1);
+}
+
+void BM_DepthSweepAllSolutions(benchmark::State &State) {
+  runSystem(State, /*Q=*/6, State.range(0), SIZE_MAX);
+}
+
+} // namespace
+
+BENCHMARK(BM_TwoCallFirstSolution)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_TwoCallAllSolutions)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_DepthSweepFirstSolution)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_DepthSweepAllSolutions)->Arg(2)->Arg(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+//===- bench_solver_features.cpp - Cost of the solver's feature knobs -----===//
+//
+// Ablation of this implementation's own options (complementing E9's
+// paper-suggested minimization ablation): what do maximality widening,
+// solution dedup, full enumeration, and candidate verification cost on
+// representative workloads?
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/RegexCompiler.h"
+#include "solver/Solver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dprle;
+
+namespace {
+
+/// The motivating-example system (paper Section 2).
+Problem motivatingProblem() {
+  Problem P;
+  VarId V = P.addVariable("posted_newsid");
+  P.addConstraint({P.var(V)}, searchLanguage("[\\d]+$"));
+  P.addConstraint({P.constant(Nfa::literal("nid_")), P.var(V)},
+                  searchLanguage("'"));
+  return P;
+}
+
+/// A disjunction-heavy system: two unconstrained variables split a
+/// bounded language many ways.
+Problem disjunctiveProblem() {
+  Problem P;
+  VarId A = P.addVariable("a");
+  VarId B = P.addVariable("b");
+  P.addConstraint({P.var(A), P.var(B)}, regexLanguage("x{0,12}"));
+  return P;
+}
+
+void run(benchmark::State &State, const Problem &P, SolverOptions Opts) {
+  Solver S(Opts);
+  uint64_t Solutions = 0;
+  for (auto _ : State) {
+    SolveResult R = S.solve(P);
+    Solutions = R.Assignments.size();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["Solutions"] = Solutions;
+}
+
+void BM_Motivating_Default(benchmark::State &State) {
+  run(State, motivatingProblem(), SolverOptions());
+}
+
+void BM_Motivating_NoMaximize(benchmark::State &State) {
+  SolverOptions Opts;
+  Opts.MaximizeSolutions = false;
+  run(State, motivatingProblem(), Opts);
+}
+
+void BM_Motivating_FirstOnly(benchmark::State &State) {
+  SolverOptions Opts;
+  Opts.MaxSolutions = 1;
+  Opts.MaximizeSolutions = false;
+  run(State, motivatingProblem(), Opts);
+}
+
+void BM_Disjunctive_AllMaximized(benchmark::State &State) {
+  run(State, disjunctiveProblem(), SolverOptions());
+}
+
+void BM_Disjunctive_AllRaw(benchmark::State &State) {
+  SolverOptions Opts;
+  Opts.MaximizeSolutions = false;
+  Opts.DedupSolutions = false;
+  run(State, disjunctiveProblem(), Opts);
+}
+
+void BM_Disjunctive_FirstOnly(benchmark::State &State) {
+  SolverOptions Opts;
+  Opts.MaxSolutions = 1;
+  Opts.MaximizeSolutions = false;
+  run(State, disjunctiveProblem(), Opts);
+}
+
+} // namespace
+
+BENCHMARK(BM_Motivating_Default);
+BENCHMARK(BM_Motivating_NoMaximize);
+BENCHMARK(BM_Motivating_FirstOnly);
+BENCHMARK(BM_Disjunctive_AllMaximized);
+BENCHMARK(BM_Disjunctive_AllRaw);
+BENCHMARK(BM_Disjunctive_FirstOnly);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+//===- constraint_cli.cpp - Stand-alone constraint solver -----------------===//
+//
+// The "stand-alone utility in the style of a theorem prover or SAT
+// solver" the paper describes: reads an RMA constraint file, solves it,
+// and prints the satisfying assignments.
+//
+// Usage:
+//   ./build/examples/constraint_cli examples/motivating.rma
+//   ./build/examples/constraint_cli --first file.rma   (first solution)
+//   echo "var v; v <= /ab*/;" | ./build/examples/constraint_cli -
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/ConstraintParser.h"
+#include "solver/Solver.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace dprle;
+
+int main(int Argc, char **Argv) {
+  SolverOptions Opts;
+  const char *Path = nullptr;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--first") == 0)
+      Opts.MaxSolutions = 1;
+    else
+      Path = Argv[I];
+  }
+  if (!Path) {
+    std::fprintf(stderr,
+                 "usage: constraint_cli [--first] <file.rma | ->\n");
+    return 2;
+  }
+
+  std::string Text;
+  if (std::strcmp(Path, "-") == 0) {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Text = Buffer.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path);
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Text = Buffer.str();
+  }
+
+  ConstraintParseResult Parsed = parseConstraintText(Text);
+  if (!Parsed.Ok) {
+    std::fprintf(stderr, "%s:%zu: error: %s\n", Path, Parsed.ErrorLine,
+                 Parsed.Error.c_str());
+    return 2;
+  }
+
+  SolveResult R = Solver(Opts).solve(Parsed.Instance);
+  if (!R.Satisfiable) {
+    std::printf("unsat\n");
+    return 1;
+  }
+  std::printf("sat (%zu assignment%s)\n", R.Assignments.size(),
+              R.Assignments.size() == 1 ? "" : "s");
+  const Problem &P = Parsed.Instance;
+  for (size_t I = 0; I != R.Assignments.size(); ++I) {
+    std::printf("assignment %zu:\n", I + 1);
+    for (VarId V = 0; V != P.numVariables(); ++V) {
+      const Assignment &A = R.Assignments[I];
+      auto Witness = A.witness(V);
+      std::printf("  %-16s /%s/   e.g. \"%s\"\n",
+                  P.variableName(V).c_str(), A.regexFor(V).c_str(),
+                  Witness ? Witness->c_str() : "<empty>");
+    }
+  }
+  std::printf("stats: %llu states visited, %.4fs\n",
+              (unsigned long long)R.Stats.StatesVisited,
+              R.Stats.SolveSeconds);
+  return 0;
+}

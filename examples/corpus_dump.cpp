@@ -1,0 +1,57 @@
+//===- corpus_dump.cpp - Write the synthetic corpus to disk ---------------===//
+//
+// Materializes the Figure 11 corpus (eve / utopia / warp) as .php files
+// so the generated programs can be inspected, diffed, or analyzed with
+// sqli_exploit individually.
+//
+// Usage:  ./build/examples/corpus_dump <output-directory>
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniphp/Corpus.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace dprle::miniphp;
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: corpus_dump <output-directory>\n");
+    return 2;
+  }
+  std::filesystem::path Root(Argv[1]);
+  std::error_code Ec;
+  std::filesystem::create_directories(Root, Ec);
+  if (Ec) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", Argv[1],
+                 Ec.message().c_str());
+    return 1;
+  }
+
+  unsigned Files = 0, Lines = 0;
+  for (const Suite &S : figure11Suites()) {
+    std::filesystem::path Dir = Root / (S.Name + "-" + S.Version);
+    std::filesystem::create_directories(Dir, Ec);
+    if (Ec) {
+      std::fprintf(stderr, "error: cannot create %s\n", Dir.c_str());
+      return 1;
+    }
+    for (const SuiteFile &F : S.Files) {
+      std::ofstream Out(Dir / F.Name);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     (Dir / F.Name).c_str());
+        return 1;
+      }
+      Out << F.Source;
+      ++Files;
+    }
+    Lines += S.totalLines();
+    std::printf("%-8s %-6s: %zu files under %s\n", S.Name.c_str(),
+                S.Version.c_str(), S.Files.size(), Dir.c_str());
+  }
+  std::printf("wrote %u files, %u total lines\n", Files, Lines);
+  return 0;
+}

@@ -1,0 +1,245 @@
+//===- Dfa.cpp - Deterministic finite automata -------------------------------//
+
+#include "automata/Dfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace dprle;
+
+//===----------------------------------------------------------------------===//
+// AlphabetPartition
+//===----------------------------------------------------------------------===//
+
+AlphabetPartition::AlphabetPartition() : ClassOf(256, 0) {
+  Classes.push_back(CharSet::all());
+}
+
+void AlphabetPartition::refineBy(const CharSet &Label) {
+  if (Label.empty())
+    return;
+  std::vector<CharSet> NewClasses;
+  NewClasses.reserve(Classes.size() + 1);
+  for (const CharSet &Class : Classes) {
+    CharSet In = Class & Label;
+    CharSet Out = Class - Label;
+    if (In.empty() || Out.empty()) {
+      NewClasses.push_back(Class);
+      continue;
+    }
+    NewClasses.push_back(In);
+    NewClasses.push_back(Out);
+  }
+  Classes = std::move(NewClasses);
+}
+
+void AlphabetPartition::rebuildClassOf() {
+  for (unsigned I = 0; I != Classes.size(); ++I)
+    Classes[I].forEach([&](unsigned char C) { ClassOf[C] = I; });
+}
+
+AlphabetPartition AlphabetPartition::compute(const Nfa &M, const Nfa *Other) {
+  AlphabetPartition P;
+  auto RefineAll = [&P](const Nfa &Machine) {
+    for (StateId S = 0; S != Machine.numStates(); ++S)
+      for (const Transition &T : Machine.transitionsFrom(S))
+        if (!T.IsEpsilon)
+          P.refineBy(T.Label);
+  };
+  RefineAll(M);
+  if (Other)
+    RefineAll(*Other);
+  P.rebuildClassOf();
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Dfa
+//===----------------------------------------------------------------------===//
+
+Dfa::Dfa(AlphabetPartition Partition, unsigned NumStates, StateId Start)
+    : Partition(std::move(Partition)),
+      Table(size_t(NumStates) * this->Partition.numClasses(), InvalidState),
+      Accepting(NumStates, false), Start(Start) {
+  assert(Start < NumStates && "DFA start state out of range");
+}
+
+bool Dfa::accepts(std::string_view Str) const {
+  StateId S = Start;
+  for (char C : Str) {
+    S = nextOnByte(S, static_cast<unsigned char>(C));
+    assert(S != InvalidState && "incomplete DFA");
+  }
+  return Accepting[S];
+}
+
+bool Dfa::languageIsEmpty() const {
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<StateId> Work = {Start};
+  Seen[Start] = true;
+  while (!Work.empty()) {
+    StateId S = Work.front();
+    Work.pop_front();
+    if (Accepting[S])
+      return false;
+    for (unsigned C = 0; C != numClasses(); ++C) {
+      StateId To = next(S, C);
+      if (!Seen[To]) {
+        Seen[To] = true;
+        Work.push_back(To);
+      }
+    }
+  }
+  return true;
+}
+
+Dfa Dfa::complemented() const {
+  Dfa Out = *this;
+  for (StateId S = 0; S != numStates(); ++S)
+    Out.Accepting[S] = !Accepting[S];
+  return Out;
+}
+
+Dfa Dfa::minimized() const {
+  // Restrict to states reachable from the start state first; Hopcroft
+  // assumes the input has no unreachable states.
+  std::vector<StateId> OldOf; // new -> old
+  std::vector<StateId> NewOf(numStates(), InvalidState);
+  {
+    std::deque<StateId> Work = {Start};
+    NewOf[Start] = 0;
+    OldOf.push_back(Start);
+    while (!Work.empty()) {
+      StateId S = Work.front();
+      Work.pop_front();
+      for (unsigned C = 0; C != numClasses(); ++C) {
+        StateId To = next(S, C);
+        if (NewOf[To] != InvalidState)
+          continue;
+        NewOf[To] = static_cast<StateId>(OldOf.size());
+        OldOf.push_back(To);
+        Work.push_back(To);
+      }
+    }
+  }
+  const unsigned N = OldOf.size();
+  const unsigned K = numClasses();
+
+  // Hopcroft's algorithm over the reachable sub-automaton.
+  // Partition states into blocks; refine with (block, class) splitters.
+  std::vector<unsigned> BlockOf(N);
+  std::vector<std::vector<StateId>> Blocks;
+  {
+    std::vector<StateId> Acc, Rej;
+    for (StateId S = 0; S != N; ++S)
+      (Accepting[OldOf[S]] ? Acc : Rej).push_back(S);
+    if (!Acc.empty()) {
+      for (StateId S : Acc)
+        BlockOf[S] = Blocks.size();
+      Blocks.push_back(std::move(Acc));
+    }
+    if (!Rej.empty()) {
+      for (StateId S : Rej)
+        BlockOf[S] = Blocks.size();
+      Blocks.push_back(std::move(Rej));
+    }
+  }
+
+  // Reverse transition lists per class, over renumbered states.
+  std::vector<std::vector<std::vector<StateId>>> Rev(
+      K, std::vector<std::vector<StateId>>(N));
+  for (StateId S = 0; S != N; ++S)
+    for (unsigned C = 0; C != K; ++C)
+      Rev[C][NewOf[next(OldOf[S], C)]].push_back(S);
+
+  // Hopcroft worklist with the classic smaller-half rule: when block B
+  // splits into Larger (stays as B) and Smaller (becomes NewBlock), a
+  // pending (B, c) still covers the larger half, so only (NewBlock, c)
+  // must be queued; otherwise the *smaller* half suffices as the future
+  // splitter. This bounds total work by O(n k log n).
+  std::deque<std::pair<unsigned, unsigned>> Work; // (block, class)
+  std::set<std::pair<unsigned, unsigned>> InWork;
+  auto Push = [&](unsigned B, unsigned C) {
+    if (InWork.insert({B, C}).second)
+      Work.push_back({B, C});
+  };
+  for (unsigned C = 0; C != K; ++C)
+    for (unsigned B = 0; B != Blocks.size(); ++B)
+      Push(B, C);
+
+  std::vector<StateId> Touched;
+  while (!Work.empty()) {
+    auto [SplitterBlock, C] = Work.front();
+    Work.pop_front();
+    InWork.erase({SplitterBlock, C});
+    // X = set of states with a C-transition into SplitterBlock.
+    std::vector<bool> InX(N, false);
+    Touched.clear();
+    for (StateId Target : Blocks[SplitterBlock]) {
+      for (StateId S : Rev[C][Target]) {
+        if (InX[S])
+          continue;
+        InX[S] = true;
+        Touched.push_back(S);
+      }
+    }
+    if (Touched.empty())
+      continue;
+    // Group touched states by their current block.
+    std::map<unsigned, std::vector<StateId>> ByBlock;
+    for (StateId S : Touched)
+      ByBlock[BlockOf[S]].push_back(S);
+    for (auto &[B, Hits] : ByBlock) {
+      if (Hits.size() == Blocks[B].size())
+        continue; // Entire block is in X; no split.
+      // Split block B: the smaller half moves into NewBlock.
+      std::vector<StateId> Rest;
+      Rest.reserve(Blocks[B].size() - Hits.size());
+      for (StateId S : Blocks[B])
+        if (!InX[S])
+          Rest.push_back(S);
+      unsigned NewBlock = Blocks.size();
+      const bool HitsSmaller = Hits.size() <= Rest.size();
+      std::vector<StateId> &Moved = HitsSmaller ? Hits : Rest;
+      for (StateId S : Moved)
+        BlockOf[S] = NewBlock;
+      Blocks[B] = HitsSmaller ? std::move(Rest) : std::move(Hits);
+      Blocks.push_back(std::move(Moved));
+      // Because the smaller half always moves into NewBlock, both cases
+      // of the classic rule ("replace a pending (B, c) by both halves;
+      // otherwise queue the smaller half") reduce to queueing NewBlock.
+      for (unsigned C2 = 0; C2 != K; ++C2)
+        Push(NewBlock, C2);
+    }
+  }
+
+  // Emit the quotient automaton.
+  Dfa Out(Partition, Blocks.size(), BlockOf[NewOf[Start]]);
+  for (unsigned B = 0; B != Blocks.size(); ++B) {
+    StateId Rep = Blocks[B].front();
+    Out.setAccepting(B, Accepting[OldOf[Rep]]);
+    for (unsigned C = 0; C != K; ++C)
+      Out.setNext(B, C, BlockOf[NewOf[next(OldOf[Rep], C)]]);
+  }
+  return Out;
+}
+
+Nfa Dfa::toNfa() const {
+  Nfa Out;
+  for (StateId S = 1; S < numStates(); ++S)
+    Out.addState();
+  Out.setStart(Start);
+  for (StateId S = 0; S != numStates(); ++S) {
+    Out.setAccepting(S, Accepting[S]);
+    // Merge parallel edges into a single CharSet per target state.
+    std::map<StateId, CharSet> Merged;
+    for (unsigned C = 0; C != numClasses(); ++C)
+      Merged[next(S, C)] |= Partition.classSet(C);
+    for (const auto &[To, Label] : Merged)
+      Out.addTransition(S, Label, To);
+  }
+  return Out.trimmed();
+}

@@ -1,0 +1,103 @@
+//===- Dfa.h - Deterministic finite automata --------------------*- C++ -*-==//
+///
+/// \file
+/// Complete deterministic automata over a reduced alphabet. The automata
+/// library determinizes NFAs into Dfa instances for complementation,
+/// minimization, and decidable language comparisons; all solver-facing
+/// machines are NFAs (see Nfa.h).
+///
+/// To keep subset construction and Hopcroft minimization independent of the
+/// 256-symbol byte alphabet, a Dfa carries an AlphabetPartition: the coarsest
+/// partition of the byte alphabet such that every transition label of the
+/// source NFA is a union of partition classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_AUTOMATA_DFA_H
+#define DPRLE_AUTOMATA_DFA_H
+
+#include "automata/Nfa.h"
+#include "support/CharSet.h"
+
+#include <string_view>
+#include <vector>
+
+namespace dprle {
+
+/// A partition of the byte alphabet into equivalence classes.
+class AlphabetPartition {
+public:
+  /// The trivial partition with a single class (the full alphabet).
+  AlphabetPartition();
+
+  /// Computes the coarsest partition refining every transition label of
+  /// \p M (and, if provided, \p Other — used when two machines must share a
+  /// partition for product-style comparisons).
+  static AlphabetPartition compute(const Nfa &M, const Nfa *Other = nullptr);
+
+  unsigned numClasses() const { return Classes.size(); }
+  const CharSet &classSet(unsigned Class) const { return Classes[Class]; }
+  unsigned classOf(unsigned char C) const { return ClassOf[C]; }
+
+  /// A representative symbol for \p Class.
+  unsigned char representative(unsigned Class) const {
+    return Classes[Class].min();
+  }
+
+private:
+  void refineBy(const CharSet &Label);
+  void rebuildClassOf();
+
+  std::vector<CharSet> Classes;
+  std::vector<uint16_t> ClassOf; // 256 entries
+};
+
+/// A complete DFA: every state has a successor for every alphabet class.
+class Dfa {
+public:
+  Dfa(AlphabetPartition Partition, unsigned NumStates, StateId Start);
+
+  unsigned numStates() const { return Accepting.size(); }
+  unsigned numClasses() const { return Partition.numClasses(); }
+  StateId start() const { return Start; }
+  const AlphabetPartition &partition() const { return Partition; }
+
+  bool isAccepting(StateId S) const { return Accepting[S]; }
+  void setAccepting(StateId S, bool Value = true) { Accepting[S] = Value; }
+
+  StateId next(StateId S, unsigned Class) const {
+    return Table[size_t(S) * numClasses() + Class];
+  }
+  StateId nextOnByte(StateId S, unsigned char C) const {
+    return next(S, Partition.classOf(C));
+  }
+  void setNext(StateId S, unsigned Class, StateId To) {
+    Table[size_t(S) * numClasses() + Class] = To;
+  }
+
+  bool accepts(std::string_view Str) const;
+
+  /// True if no accepting state is reachable from the start state.
+  bool languageIsEmpty() const;
+
+  /// Language complement (flips acceptance; the machine is complete).
+  Dfa complemented() const;
+
+  /// Hopcroft minimization. The result is complete, reachable-only, and
+  /// canonical up to state numbering.
+  Dfa minimized() const;
+
+  /// Converts back to an NFA (labels are unions of class CharSets; dead
+  /// states are trimmed).
+  Nfa toNfa() const;
+
+private:
+  AlphabetPartition Partition;
+  std::vector<StateId> Table;
+  std::vector<bool> Accepting;
+  StateId Start;
+};
+
+} // namespace dprle
+
+#endif // DPRLE_AUTOMATA_DFA_H

@@ -1,0 +1,491 @@
+//===- NfaOps.cpp - Regular-language operations on NFAs ----------------------//
+
+#include "automata/NfaOps.h"
+#include "automata/OpStats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+using namespace dprle;
+
+//===----------------------------------------------------------------------===//
+// Concatenation and union
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Copies \p Src into \p Dst, returning the old->new state map. Acceptance
+/// flags are not copied.
+std::vector<StateId> embed(Nfa &Dst, const Nfa &Src) {
+  std::vector<StateId> Map(Src.numStates());
+  for (StateId S = 0; S != Src.numStates(); ++S)
+    Map[S] = Dst.addState();
+  for (StateId S = 0; S != Src.numStates(); ++S) {
+    for (const Transition &T : Src.transitionsFrom(S)) {
+      if (T.IsEpsilon)
+        Dst.addEpsilon(Map[S], Map[T.To], T.Marker);
+      else
+        Dst.addTransition(Map[S], T.Label, Map[T.To]);
+    }
+  }
+  return Map;
+}
+
+} // namespace
+
+Nfa dprle::concat(const Nfa &Lhs, const Nfa &Rhs, EpsilonMarker Marker,
+                  ConcatEmbedding *Embedding) {
+  StateId LhsFinal = InvalidState;
+  Nfa LhsNorm = Lhs.withSingleAccepting(&LhsFinal);
+
+  Nfa Out;
+  std::vector<StateId> LhsMap = embed(Out, LhsNorm);
+  std::vector<StateId> RhsMap = embed(Out, Rhs);
+  Out.setStart(LhsMap[LhsNorm.start()]);
+  Out.addEpsilon(LhsMap[LhsFinal], RhsMap[Rhs.start()], Marker);
+  for (StateId S = 0; S != Rhs.numStates(); ++S)
+    if (Rhs.isAccepting(S))
+      Out.setAccepting(RhsMap[S]);
+  if (Embedding) {
+    // Report the embedding in terms of the *original* Lhs states. When
+    // normalization added a fresh final state it has no original
+    // counterpart, so LhsStates is sized to the original machine.
+    Embedding->LhsStates.assign(LhsMap.begin(),
+                                LhsMap.begin() + Lhs.numStates());
+    Embedding->RhsStates = std::move(RhsMap);
+  }
+  return Out;
+}
+
+Nfa dprle::alternate(const Nfa &Lhs, const Nfa &Rhs) {
+  Nfa Out;
+  std::vector<StateId> LhsMap = embed(Out, Lhs);
+  std::vector<StateId> RhsMap = embed(Out, Rhs);
+  Out.addEpsilon(Out.start(), LhsMap[Lhs.start()]);
+  Out.addEpsilon(Out.start(), RhsMap[Rhs.start()]);
+  for (StateId S = 0; S != Lhs.numStates(); ++S)
+    if (Lhs.isAccepting(S))
+      Out.setAccepting(LhsMap[S]);
+  for (StateId S = 0; S != Rhs.numStates(); ++S)
+    if (Rhs.isAccepting(S))
+      Out.setAccepting(RhsMap[S]);
+  return Out;
+}
+
+Nfa dprle::star(const Nfa &M) {
+  Nfa Out = plus(M);
+  Out.setAccepting(Out.start());
+  return Out;
+}
+
+Nfa dprle::plus(const Nfa &M) {
+  Nfa Out;
+  std::vector<StateId> Map = embed(Out, M);
+  Out.addEpsilon(Out.start(), Map[M.start()]);
+  StateId Final = Out.addState();
+  Out.setAccepting(Final);
+  for (StateId S = 0; S != M.numStates(); ++S) {
+    if (!M.isAccepting(S))
+      continue;
+    Out.addEpsilon(Map[S], Final);
+    Out.addEpsilon(Map[S], Map[M.start()]);
+  }
+  return Out;
+}
+
+Nfa dprle::optional(const Nfa &M) {
+  Nfa Out = M.withSingleAccepting();
+  if (Out.start() == Out.singleAccepting())
+    return Out;
+  Nfa Fresh;
+  std::vector<StateId> Map = embed(Fresh, Out);
+  Fresh.addEpsilon(Fresh.start(), Map[Out.start()]);
+  Fresh.setAccepting(Map[Out.singleAccepting()]);
+  Fresh.setAccepting(Fresh.start());
+  return Fresh;
+}
+
+//===----------------------------------------------------------------------===//
+// Product construction
+//===----------------------------------------------------------------------===//
+
+Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
+  // Lazily materialize state pairs reachable from (startL, startR).
+  // Epsilon transitions advance one side only and preserve their markers.
+  Nfa Out;
+  std::unordered_map<uint64_t, StateId> PairToState;
+  std::vector<std::pair<StateId, StateId>> Origin;
+  auto Key = [&](StateId A, StateId B) {
+    return (uint64_t(A) << 32) | uint64_t(B);
+  };
+  std::deque<std::pair<StateId, StateId>> Work;
+
+  auto GetState = [&](StateId A, StateId B) {
+    auto [It, Inserted] = PairToState.try_emplace(Key(A, B), InvalidState);
+    if (Inserted) {
+      // State 0 (the Out start) is consumed by the initial pair.
+      It->second = Origin.empty() ? Out.start() : Out.addState();
+      Origin.push_back({A, B});
+      Work.push_back({A, B});
+      OpStats::global().ProductStatesVisited++;
+      if (Lhs.isAccepting(A) && Rhs.isAccepting(B))
+        Out.setAccepting(It->second);
+    }
+    return It->second;
+  };
+
+  GetState(Lhs.start(), Rhs.start());
+  while (!Work.empty()) {
+    auto [A, B] = Work.front();
+    Work.pop_front();
+    StateId From = PairToState[Key(A, B)];
+    for (const Transition &TA : Lhs.transitionsFrom(A)) {
+      if (TA.IsEpsilon) {
+        Out.addEpsilon(From, GetState(TA.To, B), TA.Marker);
+        continue;
+      }
+      for (const Transition &TB : Rhs.transitionsFrom(B)) {
+        if (TB.IsEpsilon)
+          continue;
+        CharSet Common = TA.Label & TB.Label;
+        if (Common.empty())
+          continue;
+        Out.addTransition(From, Common, GetState(TA.To, TB.To));
+      }
+    }
+    for (const Transition &TB : Rhs.transitionsFrom(B)) {
+      if (!TB.IsEpsilon)
+        continue;
+      Out.addEpsilon(From, GetState(A, TB.To), TB.Marker);
+    }
+  }
+  if (Map)
+    Map->Origin = std::move(Origin);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Determinization and boolean closure
+//===----------------------------------------------------------------------===//
+
+Dfa dprle::determinize(const Nfa &M) {
+  AlphabetPartition Partition = AlphabetPartition::compute(M);
+  const unsigned K = Partition.numClasses();
+
+  // Subset construction over sorted state sets.
+  std::map<std::vector<StateId>, StateId> SetToState;
+  std::vector<std::vector<StateId>> Sets;
+  std::vector<std::vector<StateId>> TableRows;
+  std::vector<bool> AcceptingRows;
+
+  auto Intern = [&](std::vector<StateId> Set) {
+    auto [It, Inserted] = SetToState.try_emplace(std::move(Set), InvalidState);
+    if (Inserted) {
+      It->second = static_cast<StateId>(Sets.size());
+      Sets.push_back(It->first);
+      TableRows.emplace_back(K, InvalidState);
+      bool Acc = false;
+      for (StateId S : It->first)
+        Acc = Acc || M.isAccepting(S);
+      AcceptingRows.push_back(Acc);
+      OpStats::global().DeterminizeStatesVisited++;
+    }
+    return It->second;
+  };
+
+  std::vector<StateId> Initial = {M.start()};
+  M.epsilonClosure(Initial);
+  StateId StartSet = Intern(std::move(Initial));
+
+  for (StateId Cur = 0; Cur != Sets.size(); ++Cur) {
+    // Copy: Sets may reallocate as successors are interned.
+    std::vector<StateId> Set = Sets[Cur];
+    for (unsigned C = 0; C != K; ++C) {
+      unsigned char Rep = Partition.representative(C);
+      std::vector<StateId> Next;
+      std::vector<bool> InNext(M.numStates(), false);
+      for (StateId S : Set) {
+        for (const Transition &T : M.transitionsFrom(S)) {
+          if (T.IsEpsilon || !T.Label.contains(Rep) || InNext[T.To])
+            continue;
+          InNext[T.To] = true;
+          Next.push_back(T.To);
+        }
+      }
+      M.epsilonClosure(Next);
+      TableRows[Cur][C] = Intern(std::move(Next));
+    }
+  }
+
+  Dfa Out(Partition, Sets.size(), StartSet);
+  for (StateId S = 0; S != Sets.size(); ++S) {
+    Out.setAccepting(S, AcceptingRows[S]);
+    for (unsigned C = 0; C != K; ++C)
+      Out.setNext(S, C, TableRows[S][C]);
+  }
+  return Out;
+}
+
+Nfa dprle::complement(const Nfa &M) {
+  return determinize(M).complemented().toNfa();
+}
+
+Nfa dprle::difference(const Nfa &Lhs, const Nfa &Rhs) {
+  return intersect(Lhs, complement(Rhs));
+}
+
+Nfa dprle::minimized(const Nfa &M) {
+  return determinize(M).minimized().toNfa();
+}
+
+bool dprle::isSubsetOf(const Nfa &Lhs, const Nfa &Rhs) {
+  return difference(Lhs, Rhs).languageIsEmpty();
+}
+
+bool dprle::equivalent(const Nfa &Lhs, const Nfa &Rhs) {
+  return isSubsetOf(Lhs, Rhs) && isSubsetOf(Rhs, Lhs);
+}
+
+//===----------------------------------------------------------------------===//
+// Quotients
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Explores the full pair graph of \p A and \p B (not just pairs reachable
+/// from the starts) and returns, for every pair (a, b), whether an
+/// accepting pair (accA, accB) is reachable from it.
+std::vector<bool> pairCoReachable(const Nfa &A, const Nfa &B) {
+  const size_t NB = B.numStates();
+  auto Index = [NB](StateId SA, StateId SB) { return size_t(SA) * NB + SB; };
+  // Build reverse adjacency of the pair graph.
+  std::vector<std::vector<uint32_t>> Rev(A.numStates() * NB);
+  for (StateId SA = 0; SA != A.numStates(); ++SA) {
+    for (StateId SB = 0; SB != B.numStates(); ++SB) {
+      size_t From = Index(SA, SB);
+      for (const Transition &TA : A.transitionsFrom(SA)) {
+        if (TA.IsEpsilon) {
+          Rev[Index(TA.To, SB)].push_back(From);
+          continue;
+        }
+        for (const Transition &TB : B.transitionsFrom(SB)) {
+          if (TB.IsEpsilon)
+            continue;
+          if (TA.Label.intersects(TB.Label))
+            Rev[Index(TA.To, TB.To)].push_back(From);
+        }
+      }
+      for (const Transition &TB : B.transitionsFrom(SB))
+        if (TB.IsEpsilon)
+          Rev[Index(SA, TB.To)].push_back(From);
+    }
+  }
+  std::vector<bool> Seen(A.numStates() * NB, false);
+  std::deque<size_t> Work;
+  for (StateId SA = 0; SA != A.numStates(); ++SA)
+    for (StateId SB = 0; SB != B.numStates(); ++SB)
+      if (A.isAccepting(SA) && B.isAccepting(SB)) {
+        Seen[Index(SA, SB)] = true;
+        Work.push_back(Index(SA, SB));
+      }
+  while (!Work.empty()) {
+    size_t P = Work.front();
+    Work.pop_front();
+    for (size_t Q : Rev[P])
+      if (!Seen[Q]) {
+        Seen[Q] = true;
+        Work.push_back(Q);
+      }
+  }
+  return Seen;
+}
+
+} // namespace
+
+Nfa dprle::rightQuotient(const Nfa &K, const Nfa &Suffixes) {
+  // State q of K becomes accepting iff some s in L(Suffixes) leads from q
+  // to acceptance in K — i.e. the pair (q, Suffixes.start) can reach an
+  // accepting pair in the product graph.
+  std::vector<bool> CoReach = pairCoReachable(K, Suffixes);
+  Nfa Out = K;
+  const size_t NB = Suffixes.numStates();
+  for (StateId Q = 0; Q != K.numStates(); ++Q)
+    Out.setAccepting(Q, CoReach[size_t(Q) * NB + Suffixes.start()]);
+  return Out.trimmed();
+}
+
+Nfa dprle::leftQuotient(const Nfa &Prefixes, const Nfa &K) {
+  // Valid entry points of K: states q reachable from K.start by some p in
+  // L(Prefixes) — i.e. pairs (q, b) reachable from (K.start,
+  // Prefixes.start) with b accepting in Prefixes.
+  std::vector<bool> EntryPoint(K.numStates(), false);
+  {
+    std::vector<bool> Seen(size_t(K.numStates()) * Prefixes.numStates(),
+                           false);
+    auto Index = [&](StateId SK, StateId SP) {
+      return size_t(SK) * Prefixes.numStates() + SP;
+    };
+    std::deque<std::pair<StateId, StateId>> Work = {
+        {K.start(), Prefixes.start()}};
+    Seen[Index(K.start(), Prefixes.start())] = true;
+    while (!Work.empty()) {
+      auto [SK, SP] = Work.front();
+      Work.pop_front();
+      if (Prefixes.isAccepting(SP))
+        EntryPoint[SK] = true;
+      for (const Transition &TK : K.transitionsFrom(SK)) {
+        if (TK.IsEpsilon) {
+          if (!Seen[Index(TK.To, SP)]) {
+            Seen[Index(TK.To, SP)] = true;
+            Work.push_back({TK.To, SP});
+          }
+          continue;
+        }
+        for (const Transition &TP : Prefixes.transitionsFrom(SP)) {
+          if (TP.IsEpsilon || !TK.Label.intersects(TP.Label))
+            continue;
+          if (!Seen[Index(TK.To, TP.To)]) {
+            Seen[Index(TK.To, TP.To)] = true;
+            Work.push_back({TK.To, TP.To});
+          }
+        }
+      }
+      for (const Transition &TP : Prefixes.transitionsFrom(SP)) {
+        if (!TP.IsEpsilon)
+          continue;
+        if (!Seen[Index(SK, TP.To)]) {
+          Seen[Index(SK, TP.To)] = true;
+          Work.push_back({SK, TP.To});
+        }
+      }
+    }
+  }
+  Nfa Out;
+  std::vector<StateId> Map = embed(Out, K);
+  for (StateId Q = 0; Q != K.numStates(); ++Q) {
+    if (EntryPoint[Q])
+      Out.addEpsilon(Out.start(), Map[Q]);
+    if (K.isAccepting(Q))
+      Out.setAccepting(Map[Q]);
+  }
+  return Out.trimmed();
+}
+
+//===----------------------------------------------------------------------===//
+// Witness extraction
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string> dprle::shortestString(const Nfa &M) {
+  // 0-1 BFS: epsilon edges cost 0, symbol edges cost 1. Relax at pop time
+  // so that cheaper epsilon paths discovered later still win.
+  constexpr size_t Inf = SIZE_MAX;
+  struct Pred {
+    StateId From = InvalidState;
+    int Symbol = -1; // -1: epsilon
+  };
+  std::vector<Pred> Preds(M.numStates());
+  std::vector<size_t> Dist(M.numStates(), Inf);
+  std::vector<bool> Done(M.numStates(), false);
+  std::deque<StateId> Work = {M.start()};
+  Dist[M.start()] = 0;
+
+  while (!Work.empty()) {
+    StateId S = Work.front();
+    Work.pop_front();
+    if (Done[S])
+      continue;
+    Done[S] = true;
+    for (const Transition &T : M.transitionsFrom(S)) {
+      int Symbol = T.IsEpsilon ? -1 : T.Label.min();
+      size_t NewDist = Dist[S] + (T.IsEpsilon ? 0 : 1);
+      if (NewDist >= Dist[T.To])
+        continue;
+      Dist[T.To] = NewDist;
+      Preds[T.To] = {S, Symbol};
+      if (T.IsEpsilon)
+        Work.push_front(T.To);
+      else
+        Work.push_back(T.To);
+    }
+  }
+  StateId Hit = InvalidState;
+  for (StateId S = 0; S != M.numStates(); ++S)
+    if (M.isAccepting(S) && Dist[S] != Inf &&
+        (Hit == InvalidState || Dist[S] < Dist[Hit]))
+      Hit = S;
+  if (Hit == InvalidState)
+    return std::nullopt;
+  std::string Out;
+  for (StateId S = Hit; S != M.start();) {
+    const Pred &P = Preds[S];
+    if (P.Symbol >= 0)
+      Out.push_back(static_cast<char>(P.Symbol));
+    S = P.From;
+  }
+  std::reverse(Out.begin(), Out.end());
+  return Out;
+}
+
+std::vector<std::string> dprle::enumerateStrings(const Nfa &M, size_t MaxLen,
+                                                 size_t Limit) {
+  // Enumerate via the DFA to avoid duplicate strings from nondeterminism.
+  Dfa D = determinize(M);
+
+  // Prune states that cannot reach acceptance; without this the complete
+  // DFA's dead state would be expanded over the whole byte alphabet.
+  std::vector<bool> Useful(D.numStates(), false);
+  {
+    std::vector<std::vector<StateId>> Rev(D.numStates());
+    for (StateId S = 0; S != D.numStates(); ++S)
+      for (unsigned C = 0; C != D.numClasses(); ++C)
+        Rev[D.next(S, C)].push_back(S);
+    std::deque<StateId> Work;
+    for (StateId S = 0; S != D.numStates(); ++S)
+      if (D.isAccepting(S)) {
+        Useful[S] = true;
+        Work.push_back(S);
+      }
+    while (!Work.empty()) {
+      StateId S = Work.front();
+      Work.pop_front();
+      for (StateId P : Rev[S])
+        if (!Useful[P]) {
+          Useful[P] = true;
+          Work.push_back(P);
+        }
+    }
+  }
+
+  std::vector<std::string> Out;
+  if (!Useful[D.start()])
+    return Out;
+  struct Item {
+    StateId State;
+    std::string Str;
+  };
+  std::deque<Item> Work = {{D.start(), ""}};
+  while (!Work.empty() && Out.size() < Limit) {
+    Item Cur = std::move(Work.front());
+    Work.pop_front();
+    if (D.isAccepting(Cur.State))
+      Out.push_back(Cur.Str);
+    if (Cur.Str.size() == MaxLen)
+      continue;
+    // Expand in symbol order so the BFS yields shortlex order.
+    std::vector<std::pair<unsigned char, StateId>> Moves;
+    for (unsigned C = 0; C != D.numClasses(); ++C) {
+      StateId To = D.next(Cur.State, C);
+      if (!Useful[To])
+        continue;
+      D.partition().classSet(C).forEach(
+          [&](unsigned char Sym) { Moves.push_back({Sym, To}); });
+    }
+    std::sort(Moves.begin(), Moves.end());
+    for (auto [Sym, To] : Moves)
+      Work.push_back({To, Cur.Str + static_cast<char>(Sym)});
+  }
+  return Out;
+}

@@ -1,0 +1,10 @@
+//===- OpStats.cpp - Automata operation accounting --------------------------//
+
+#include "automata/OpStats.h"
+
+using namespace dprle;
+
+OpStats &OpStats::global() {
+  static OpStats Stats;
+  return Stats;
+}

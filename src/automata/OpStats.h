@@ -1,0 +1,45 @@
+//===- OpStats.h - Automata operation accounting ----------------*- C++ -*-==//
+///
+/// \file
+/// Counters for the "NFA states visited" cost model of paper Section 3.5.
+/// The paper expresses the complexity of concat-intersect and of the general
+/// solver in terms of states visited by the low-level machine operations;
+/// the scaling benchmarks (bench_ci_scaling, bench_rma_depth) read these
+/// counters to reproduce the O(Q^2)/O(Q^3)/O(Q^5) claims.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_AUTOMATA_OPSTATS_H
+#define DPRLE_AUTOMATA_OPSTATS_H
+
+#include <cstdint>
+
+namespace dprle {
+
+/// Global (single-threaded) counters incremented by the automata library.
+struct OpStats {
+  /// Product states materialized by intersect().
+  uint64_t ProductStatesVisited = 0;
+  /// Subset-construction states materialized by determinize().
+  uint64_t DeterminizeStatesVisited = 0;
+  /// States examined while trimming machines.
+  uint64_t TrimStatesVisited = 0;
+  /// Steps taken during epsilon-closure computations.
+  uint64_t EpsilonClosureSteps = 0;
+  /// States copied by induce_from_start / induce_from_final enumeration.
+  uint64_t InduceStatesVisited = 0;
+
+  /// Sum of every per-state counter; the paper's headline metric.
+  uint64_t totalStatesVisited() const {
+    return ProductStatesVisited + DeterminizeStatesVisited +
+           TrimStatesVisited + InduceStatesVisited;
+  }
+
+  void reset() { *this = OpStats(); }
+
+  static OpStats &global();
+};
+
+} // namespace dprle
+
+#endif // DPRLE_AUTOMATA_OPSTATS_H

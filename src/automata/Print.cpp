@@ -1,0 +1,88 @@
+//===- Print.cpp - Automata pretty-printing ---------------------------------//
+
+#include "automata/Print.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace dprle;
+
+void dprle::printNfa(std::ostream &Os, const Nfa &M, const std::string &Name) {
+  if (!Name.empty())
+    Os << "nfa " << Name << " {\n";
+  else
+    Os << "nfa {\n";
+  Os << "  states: " << M.numStates() << ", start: " << M.start()
+     << ", accepting: {";
+  bool First = true;
+  for (StateId S : M.acceptingStates()) {
+    if (!First)
+      Os << ", ";
+    First = false;
+    Os << S;
+  }
+  Os << "}\n";
+  for (StateId S = 0; S != M.numStates(); ++S) {
+    for (const Transition &T : M.transitionsFrom(S)) {
+      Os << "  " << S << " -> " << T.To << " on ";
+      if (T.IsEpsilon) {
+        Os << "eps";
+        if (T.Marker != NoMarker)
+          Os << "#" << T.Marker;
+      } else {
+        Os << T.Label.str();
+      }
+      Os << "\n";
+    }
+  }
+  Os << "}\n";
+}
+
+void dprle::printNfaDot(std::ostream &Os, const Nfa &M,
+                        const std::string &Name) {
+  Os << "digraph " << Name << " {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=circle];\n"
+     << "  __start [shape=point];\n"
+     << "  __start -> s" << M.start() << ";\n";
+  for (StateId S : M.acceptingStates())
+    Os << "  s" << S << " [shape=doublecircle];\n";
+  for (StateId S = 0; S != M.numStates(); ++S) {
+    for (const Transition &T : M.transitionsFrom(S)) {
+      Os << "  s" << S << " -> s" << T.To;
+      if (T.IsEpsilon) {
+        Os << " [label=\"eps";
+        if (T.Marker != NoMarker)
+          Os << " #" << T.Marker;
+        Os << "\", style=dashed]";
+      } else {
+        std::string Label = T.Label.str();
+        Os << " [label=" << quoteString(Label) << "]";
+      }
+      Os << ";\n";
+    }
+  }
+  Os << "}\n";
+}
+
+void dprle::printDfa(std::ostream &Os, const Dfa &M, const std::string &Name) {
+  if (!Name.empty())
+    Os << "dfa " << Name << " {\n";
+  else
+    Os << "dfa {\n";
+  Os << "  states: " << M.numStates() << ", classes: " << M.numClasses()
+     << ", start: " << M.start() << "\n";
+  for (StateId S = 0; S != M.numStates(); ++S) {
+    Os << "  " << S << (M.isAccepting(S) ? " [accept]" : "") << ":";
+    for (unsigned C = 0; C != M.numClasses(); ++C)
+      Os << " " << M.partition().classSet(C).str() << "->" << M.next(S, C);
+    Os << "\n";
+  }
+  Os << "}\n";
+}
+
+std::string dprle::toString(const Nfa &M) {
+  std::ostringstream Os;
+  printNfa(Os, M);
+  return Os.str();
+}

@@ -1,0 +1,39 @@
+//===- Print.h - Automata pretty-printing -----------------------*- C++ -*-==//
+///
+/// \file
+/// Text and Graphviz renderings of NFAs and DFAs. These are used by the
+/// examples to display the intermediate machines of paper Figures 4 and 10
+/// and by failing tests to dump counterexample automata.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_AUTOMATA_PRINT_H
+#define DPRLE_AUTOMATA_PRINT_H
+
+#include "automata/Dfa.h"
+#include "automata/Nfa.h"
+
+#include <ostream>
+#include <string>
+
+namespace dprle {
+
+/// Writes a compact textual listing: one line per transition, plus start
+/// and accepting-state annotations.
+void printNfa(std::ostream &Os, const Nfa &M, const std::string &Name = "");
+
+/// Writes a Graphviz dot rendering of \p M. Marked epsilon transitions are
+/// drawn dashed and labeled with their marker id, mirroring the dashed
+/// concatenation edges of paper Figure 10.
+void printNfaDot(std::ostream &Os, const Nfa &M,
+                 const std::string &Name = "nfa");
+
+/// Writes a compact textual listing of a DFA.
+void printDfa(std::ostream &Os, const Dfa &M, const std::string &Name = "");
+
+/// Renders \p M as a string via printNfa.
+std::string toString(const Nfa &M);
+
+} // namespace dprle
+
+#endif // DPRLE_AUTOMATA_PRINT_H

@@ -1,0 +1,212 @@
+//===- Serialize.cpp - Automata persistence --------------------------------===//
+
+#include "automata/Serialize.h"
+#include "automata/Print.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace dprle;
+
+std::string dprle::serializeNfa(const Nfa &M, const std::string &Name) {
+  std::ostringstream Os;
+  printNfa(Os, M, Name);
+  return Os.str();
+}
+
+namespace {
+
+/// Strips leading/trailing whitespace.
+std::string trim(const std::string &S) {
+  size_t Begin = S.find_first_not_of(" \t\r");
+  if (Begin == std::string::npos)
+    return "";
+  size_t End = S.find_last_not_of(" \t\r");
+  return S.substr(Begin, End - Begin + 1);
+}
+
+/// Parses one (possibly escaped) symbol of a label, advancing \p Pos.
+/// Accepts exactly the escapes escapeChar() emits. Returns -1 on error.
+int parseLabelItem(const std::string &Text, size_t &Pos) {
+  if (Pos >= Text.size())
+    return -1;
+  char C = Text[Pos];
+  if (C != '\\') {
+    ++Pos;
+    return static_cast<unsigned char>(C);
+  }
+  if (Pos + 1 >= Text.size())
+    return -1;
+  char E = Text[Pos + 1];
+  if (E == 'x') {
+    if (Pos + 3 >= Text.size() ||
+        !std::isxdigit(static_cast<unsigned char>(Text[Pos + 2])) ||
+        !std::isxdigit(static_cast<unsigned char>(Text[Pos + 3])))
+      return -1;
+    auto Hex = [](char D) {
+      return std::isdigit(static_cast<unsigned char>(D))
+                 ? D - '0'
+                 : std::tolower(static_cast<unsigned char>(D)) - 'a' + 10;
+    };
+    int Value = Hex(Text[Pos + 2]) * 16 + Hex(Text[Pos + 3]);
+    Pos += 4;
+    return Value;
+  }
+  // Escaped punctuation stands for itself.
+  Pos += 2;
+  return static_cast<unsigned char>(E);
+}
+
+/// Parses a transition label in CharSet::str() syntax: ".", one (escaped)
+/// symbol, or a character class with optional negation and ranges.
+bool parseLabel(const std::string &Text, CharSet &Out) {
+  if (Text == ".") {
+    Out = CharSet::all();
+    return true;
+  }
+  if (Text.empty())
+    return false;
+  if (Text.front() != '[') {
+    size_t Pos = 0;
+    int C = parseLabelItem(Text, Pos);
+    if (C < 0 || Pos != Text.size())
+      return false;
+    Out = CharSet::singleton(static_cast<unsigned char>(C));
+    return true;
+  }
+  if (Text.back() != ']')
+    return false;
+  size_t Pos = 1;
+  size_t End = Text.size() - 1;
+  bool Negate = false;
+  if (Pos < End && Text[Pos] == '^') {
+    Negate = true;
+    ++Pos;
+  }
+  CharSet Set;
+  while (Pos < End) {
+    int Lo = parseLabelItem(Text, Pos);
+    if (Lo < 0)
+      return false;
+    if (Pos < End && Text[Pos] == '-' && Pos + 1 < End) {
+      ++Pos;
+      int Hi = parseLabelItem(Text, Pos);
+      if (Hi < 0 || Hi < Lo)
+        return false;
+      Set.insertRange(static_cast<unsigned char>(Lo),
+                      static_cast<unsigned char>(Hi));
+    } else {
+      Set.insert(static_cast<unsigned char>(Lo));
+    }
+  }
+  Out = Negate ? ~Set : Set;
+  return true;
+}
+
+} // namespace
+
+NfaParseResult dprle::parseNfa(const std::string &Text) {
+  NfaParseResult Result;
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+
+  auto Fail = [&](const std::string &Msg) {
+    Result.Machine.reset();
+    Result.Error = Msg;
+    Result.ErrorLine = LineNo;
+    return Result;
+  };
+
+  // Header: "nfa [name] {".
+  std::string Header;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    Header = trim(Line);
+    if (!Header.empty())
+      break;
+  }
+  if (Header.rfind("nfa", 0) != 0 || Header.back() != '{')
+    return Fail("expected 'nfa [name] {' header");
+  Result.Name = trim(Header.substr(3, Header.size() - 4));
+
+  // Metadata: "states: N, start: S, accepting: {a, b}".
+  if (!std::getline(In, Line))
+    return Fail("missing metadata line");
+  ++LineNo;
+  unsigned NumStates = 0, Start = 0;
+  std::vector<unsigned> Accepting;
+  {
+    std::string Meta = trim(Line);
+    unsigned A = 0;
+    int Consumed = 0;
+    if (std::sscanf(Meta.c_str(), "states: %u, start: %u, accepting: {%n",
+                    &NumStates, &Start, &Consumed) != 2 ||
+        Consumed == 0)
+      return Fail("malformed metadata line");
+    std::string Rest = Meta.substr(Consumed);
+    std::istringstream AccIn(Rest);
+    char Punct;
+    while (AccIn >> A) {
+      Accepting.push_back(A);
+      AccIn >> Punct; // ',' or '}'
+      if (Punct == '}')
+        break;
+    }
+  }
+  if (NumStates == 0)
+    return Fail("machine must have at least one state");
+  if (Start >= NumStates)
+    return Fail("start state out of range");
+
+  Nfa M;
+  for (unsigned S = 1; S < NumStates; ++S)
+    M.addState();
+  M.setStart(Start);
+  for (unsigned A : Accepting) {
+    if (A >= NumStates)
+      return Fail("accepting state out of range");
+    M.setAccepting(A);
+  }
+
+  // Transitions until '}'.
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string T = trim(Line);
+    if (T.empty())
+      continue;
+    if (T == "}") {
+      Result.Machine = std::move(M);
+      return Result;
+    }
+    unsigned From = 0, To = 0;
+    int Consumed = 0;
+    if (std::sscanf(T.c_str(), "%u -> %u on %n", &From, &To, &Consumed) !=
+            2 ||
+        Consumed == 0)
+      return Fail("malformed transition line");
+    if (From >= NumStates || To >= NumStates)
+      return Fail("transition state out of range");
+    std::string Label = trim(T.substr(Consumed));
+    if (Label.rfind("eps", 0) == 0) {
+      EpsilonMarker Marker = NoMarker;
+      if (Label.size() > 3) {
+        if (Label[3] != '#')
+          return Fail("malformed epsilon label");
+        size_t Pos = 4;
+        long Value = parseDecimal(Label, Pos);
+        if (Value < 0 || Pos != Label.size())
+          return Fail("malformed epsilon marker");
+        Marker = static_cast<EpsilonMarker>(Value);
+      }
+      M.addEpsilon(From, To, Marker);
+      continue;
+    }
+    CharSet Set;
+    if (!parseLabel(Label, Set))
+      return Fail("unparseable transition label '" + Label + "'");
+    M.addTransition(From, Set, To);
+  }
+  return Fail("missing closing '}'");
+}

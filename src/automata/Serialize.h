@@ -1,0 +1,51 @@
+//===- Serialize.h - Automata persistence -----------------------*- C++ -*-==//
+///
+/// \file
+/// Text serialization of NFAs, round-trippable with the listing format of
+/// Print.h's printNfa. Useful for persisting solver solutions, shipping
+/// constraint constants between tools, and debugging machine dumps.
+///
+/// Format (one machine per document):
+/// \code
+///   nfa optional_name {
+///     states: 4, start: 0, accepting: {2, 3}
+///     0 -> 1 on [a-c]
+///     1 -> 2 on eps#7
+///     2 -> 3 on x
+///   }
+/// \endcode
+///
+/// Labels use the character-class syntax of CharSet::str(); `eps` marks
+/// epsilon transitions, with an optional `#N` marker id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_AUTOMATA_SERIALIZE_H
+#define DPRLE_AUTOMATA_SERIALIZE_H
+
+#include "automata/Nfa.h"
+
+#include <optional>
+#include <string>
+
+namespace dprle {
+
+/// Outcome of parsing a serialized automaton.
+struct NfaParseResult {
+  std::optional<Nfa> Machine;
+  std::string Name;
+  std::string Error;
+  size_t ErrorLine = 0;
+
+  bool ok() const { return Machine.has_value(); }
+};
+
+/// Serializes \p M (identical to printNfa's output).
+std::string serializeNfa(const Nfa &M, const std::string &Name = "");
+
+/// Parses a machine serialized by serializeNfa / printNfa. Never throws.
+NfaParseResult parseNfa(const std::string &Text);
+
+} // namespace dprle
+
+#endif // DPRLE_AUTOMATA_SERIALIZE_H

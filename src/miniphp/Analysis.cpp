@@ -1,0 +1,62 @@
+//===- Analysis.cpp - End-to-end vulnerability analysis -------------------===//
+
+#include "miniphp/Analysis.h"
+#include "miniphp/Inline.h"
+#include "miniphp/Parser.h"
+#include "miniphp/Unroll.h"
+#include "support/Timer.h"
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+AnalysisResult dprle::miniphp::analyzeSource(const std::string &Source,
+                                             const AttackSpec &Attack,
+                                             const AnalysisOptions &Opts) {
+  AnalysisResult Result;
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.Ok) {
+    Result.ParseError = Parsed.Error + " (line " +
+                        std::to_string(Parsed.ErrorLine) + ")";
+    return Result;
+  }
+  InlineResult Inlined = inlineFunctions(Parsed.Prog);
+  if (!Inlined.Ok) {
+    Result.ParseError = Inlined.Error + " (line " +
+                        std::to_string(Inlined.ErrorLine) + ")";
+    return Result;
+  }
+  Result.ParseOk = true;
+
+  Program Prog = unrollLoops(Inlined.Prog, Opts.LoopUnroll);
+  Cfg G = Cfg::build(Prog);
+  Result.NumBlocks = G.numBlocks();
+
+  std::vector<PathCondition> Paths =
+      enumerateSinkPaths(Prog, G, Attack, Opts.SymExec);
+  Result.SinkPaths = Paths.size();
+
+  Solver TheSolver(Opts.Solver);
+  for (const PathCondition &PC : Paths) {
+    Timer Clock;
+    SolveResult SR = TheSolver.solve(PC.Instance);
+    double Seconds = Clock.seconds();
+    if (!SR.Satisfiable)
+      continue;
+    ++Result.VulnerablePaths;
+    if (Result.VulnerablePaths == 1) {
+      Result.NumConstraints = PC.NumConstraints;
+      Result.SolveSeconds = Seconds;
+      Result.SinkLine = PC.SinkLine;
+      Result.SliceLines = PC.SliceLines;
+      Result.Stats = SR.Stats;
+      const Assignment &A = SR.Assignments.front();
+      for (const auto &[Key, Var] : PC.InputVariables) {
+        auto Witness = A.witness(Var);
+        Result.ExploitInputs[Key] = Witness ? *Witness : "";
+      }
+    }
+    if (Opts.StopAtFirstVulnerability)
+      break;
+  }
+  return Result;
+}

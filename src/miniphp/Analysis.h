@@ -1,0 +1,84 @@
+//===- Analysis.h - End-to-end vulnerability analysis -----------*- C++ -*-==//
+///
+/// \file
+/// The complete pipeline of the paper's evaluation: parse a mini-PHP
+/// source file, build its CFG, symbolically execute paths to query()
+/// sinks, solve the resulting RMA systems, and report concrete exploit
+/// inputs (testcases) for satisfiable paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_ANALYSIS_H
+#define DPRLE_MINIPHP_ANALYSIS_H
+
+#include "miniphp/SymExec.h"
+#include "solver/Solver.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace dprle {
+namespace miniphp {
+
+/// Analysis knobs.
+struct AnalysisOptions {
+  SymExecOptions SymExec;
+  SolverOptions Solver;
+  /// Bounded unrolling factor for while loops (miniphp/Unroll.h); any
+  /// exploit found uses at most this many iterations per loop.
+  unsigned LoopUnroll = 3;
+  /// Stop after the first vulnerable path, as the paper's experiments do
+  /// ("we attempt to find inputs for the first vulnerability in each
+  /// file").
+  bool StopAtFirstVulnerability = true;
+
+  AnalysisOptions() {
+    // Witness generation needs any satisfying assignment; skip the
+    // maximality widening and further disjuncts for speed.
+    Solver.MaxSolutions = 1;
+    Solver.MaximizeSolutions = false;
+  }
+};
+
+/// The report for one analyzed source file.
+struct AnalysisResult {
+  bool ParseOk = false;
+  std::string ParseError;
+
+  /// |FG|: basic blocks in the file's CFG.
+  unsigned NumBlocks = 0;
+  /// Paths that reached a sink.
+  unsigned SinkPaths = 0;
+  /// Paths whose constraint system was satisfiable (vulnerable).
+  unsigned VulnerablePaths = 0;
+
+  /// Statistics for the first vulnerable path (matching Figure 12's
+  /// per-vulnerability rows).
+  unsigned NumConstraints = 0; ///< |C|
+  double SolveSeconds = 0.0;   ///< T_S
+  unsigned SinkLine = 0;
+  SolverStats Stats;
+
+  /// Exploit inputs for the first vulnerable path: "source:key" ->
+  /// witness string.
+  std::map<std::string, std::string> ExploitInputs;
+
+  /// Program slice for the first vulnerable path (paper Section 2: "a
+  /// program slice that elides irrelevant statements may further help a
+  /// developer understand a bug report"): source lines defining the sink
+  /// value plus the checks constraining inputs that flow into it.
+  std::set<unsigned> SliceLines;
+
+  bool vulnerable() const { return VulnerablePaths > 0; }
+};
+
+/// Runs the full pipeline on \p Source.
+AnalysisResult analyzeSource(const std::string &Source,
+                             const AttackSpec &Attack,
+                             const AnalysisOptions &Opts = {});
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_ANALYSIS_H

@@ -1,0 +1,27 @@
+//===- Ast.cpp - Mini-PHP abstract syntax ---------------------------------===//
+
+#include "miniphp/Ast.h"
+
+using namespace dprle::miniphp;
+
+Atom Atom::literal(std::string Text) {
+  Atom A;
+  A.AtomKind = Kind::Literal;
+  A.Text = std::move(Text);
+  return A;
+}
+
+Atom Atom::variable(std::string Name) {
+  Atom A;
+  A.AtomKind = Kind::Variable;
+  A.Text = std::move(Name);
+  return A;
+}
+
+Atom Atom::input(std::string Source, std::string Key) {
+  Atom A;
+  A.AtomKind = Kind::Input;
+  A.Source = std::move(Source);
+  A.Text = std::move(Key);
+  return A;
+}

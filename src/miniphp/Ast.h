@@ -1,0 +1,135 @@
+//===- Ast.h - Mini-PHP abstract syntax -------------------------*- C++ -*-==//
+//
+// Part of dprle-cpp, a reproduction of Hooimeijer & Weimer, "A Decision
+// Procedure for Subset Constraints over Regular Languages" (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for *mini-PHP*, the string-manipulating language subset
+/// our evaluation substrate analyzes. It covers exactly the constructs the
+/// paper's Figure 1 exercises: assignments, string concatenation,
+/// untrusted inputs ($_GET/$_POST), preg_match filters (optionally
+/// negated), string-equality checks, early exit, opaque calls, and the
+/// query() SQL sink.
+///
+/// The real evaluation used Wassermann & Su's analysis over full PHP; this
+/// substrate generates the same *kind* of constraint systems from programs
+/// we can synthesize at matching scale (see DESIGN.md, substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_AST_H
+#define DPRLE_MINIPHP_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dprle {
+namespace miniphp {
+
+/// One atom of a string expression.
+struct Atom {
+  enum class Kind {
+    Literal, ///< A string constant.
+    Variable, ///< A local variable ($x).
+    Input     ///< An untrusted input ($_POST['key'] / $_GET['key']).
+  };
+  Kind AtomKind = Kind::Literal;
+  /// Literal text, variable name, or input key.
+  std::string Text;
+  /// "_POST" or "_GET" for inputs.
+  std::string Source;
+
+  static Atom literal(std::string Text);
+  static Atom variable(std::string Name);
+  static Atom input(std::string Source, std::string Key);
+};
+
+/// A concatenation of atoms; PHP's `$a . "lit" . $_POST['k']`.
+using StrExpr = std::vector<Atom>;
+
+/// Relational operator of a strlen check.
+enum class LengthOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// A branch condition.
+struct Condition {
+  enum class Kind {
+    PregMatch,     ///< preg_match('/re/', expr)
+    EqualsLiteral, ///< expr == 'lit'
+    Length,        ///< strlen(expr) OP n  (paper §3.1.2's length checks)
+    Substr         ///< substr(expr, o, l) ==/!= 'lit' (substring indexing)
+  };
+  Kind CondKind = Kind::PregMatch;
+  /// True for `!preg_match(...)` / `expr != 'lit'`.
+  bool Negated = false;
+  /// The tested expression.
+  StrExpr Operand;
+  /// PregMatch: the regex pattern (delimiters stripped).
+  std::string Pattern;
+  /// EqualsLiteral: the compared literal.
+  std::string Literal;
+  /// Length: the relational operator and bound.
+  LengthOp LenOp = LengthOp::Eq;
+  unsigned LenBound = 0;
+  /// Substr: window offset and length.
+  unsigned SubOffset = 0;
+  unsigned SubLength = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One mini-PHP statement.
+struct Stmt {
+  enum class Kind {
+    Assign, ///< $x = expr;
+    If,     ///< if (cond) {...} [else {...}]
+    While,  ///< while (cond) {...} — bounded unrolling (see Cfg)
+    Exit,   ///< exit;
+    Sink,   ///< query(expr); / echo expr; — attack sinks
+    Call,   ///< other calls — inlined if user-defined, else no effect
+    Return  ///< return expr; — tail position of a function body
+  };
+  Kind StmtKind;
+  unsigned Line = 0;
+
+  // Assign
+  std::string Target;
+  StrExpr Value;
+
+  // If / While (While uses Then as its body)
+  Condition Cond;
+  std::vector<StmtPtr> Then;
+  std::vector<StmtPtr> Else;
+
+  // Sink / Call (Return reuses Value for its expression; Assign-from-call
+  // reuses Target)
+  std::string Callee;
+  StrExpr Arg;                   ///< first argument (sink expression)
+  std::vector<StrExpr> CallArgs; ///< all arguments, for inlining
+
+  explicit Stmt(Kind K) : StmtKind(K) {}
+};
+
+/// A user-defined function: inlined at call sites before analysis (see
+/// miniphp/Inline.h). The body's last statement must be its only
+/// `return` (other paths may `exit`).
+struct FunctionDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+  unsigned Line = 0;
+};
+
+/// A parsed mini-PHP compilation unit.
+struct Program {
+  std::vector<StmtPtr> Body;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_AST_H

@@ -1,0 +1,76 @@
+//===- Cfg.cpp - Mini-PHP control-flow graphs -----------------------------===//
+
+#include "miniphp/Cfg.h"
+
+using namespace dprle::miniphp;
+
+Cfg Cfg::build(const Program &P) {
+  Cfg G;
+  BlockId Entry = G.addBlock();
+  G.lower(P.Body, Entry);
+  return G;
+}
+
+BlockId Cfg::lower(const std::vector<StmtPtr> &Stmts, BlockId Current) {
+  for (const StmtPtr &S : Stmts) {
+    if (Current == InvalidBlock) {
+      // Unreachable code after exit on all paths; still lower it into a
+      // fresh block so |FG| counts it (dead blocks exist in real code).
+      Current = addBlock();
+    }
+    switch (S->StmtKind) {
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Sink:
+    case Stmt::Kind::Call:
+      Blocks[Current].Stmts.push_back(S.get());
+      break;
+    case Stmt::Kind::Return:
+      // Returns are eliminated by inlining; a raw CFG build treats a
+      // stray return like exit (control leaves the unit).
+      [[fallthrough]];
+    case Stmt::Kind::Exit:
+      Blocks[Current].Stmts.push_back(S.get());
+      // No successors: control ends here.
+      return InvalidBlock;
+    case Stmt::Kind::While:
+      // Loops must be unrolled (miniphp/Unroll.h) before analysis; for a
+      // raw CFG build, approximate the loop as a single conditional so
+      // block counting still terminates.
+      [[fallthrough]];
+    case Stmt::Kind::If: {
+      Blocks[Current].Terminator = S.get();
+      BlockId ThenHead = addBlock();
+      Blocks[Current].Succs.push_back(ThenHead);
+      BlockId ThenTail = lower(S->Then, ThenHead);
+      BlockId ElseHead = InvalidBlock, ElseTail = InvalidBlock;
+      if (!S->Else.empty()) {
+        ElseHead = addBlock();
+        Blocks[Current].Succs.push_back(ElseHead);
+        ElseTail = lower(S->Else, ElseHead);
+      }
+      BlockId Join = addBlock();
+      if (S->Else.empty())
+        Blocks[Current].Succs.push_back(Join); // false edge
+      if (ThenTail != InvalidBlock)
+        Blocks[ThenTail].Succs.push_back(Join);
+      if (ElseTail != InvalidBlock)
+        Blocks[ElseTail].Succs.push_back(Join);
+      Current = Join;
+      break;
+    }
+    }
+  }
+  return Current;
+}
+
+void Cfg::printDot(std::ostream &Os) const {
+  Os << "digraph cfg {\n  node [shape=box];\n";
+  for (BlockId B = 0; B != Blocks.size(); ++B) {
+    Os << "  b" << B << " [label=\"B" << B << " ("
+       << Blocks[B].Stmts.size() << " stmts)"
+       << (Blocks[B].Terminator ? " if" : "") << "\"];\n";
+    for (BlockId S : Blocks[B].Succs)
+      Os << "  b" << B << " -> b" << S << ";\n";
+  }
+  Os << "}\n";
+}

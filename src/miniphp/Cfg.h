@@ -1,0 +1,70 @@
+//===- Cfg.h - Mini-PHP control-flow graphs ---------------------*- C++ -*-==//
+///
+/// \file
+/// Basic-block control-flow graphs for mini-PHP programs. The block count
+/// is the |FG| statistic of paper Figure 12 ("the number of basic blocks
+/// in the code"); the symbolic executor enumerates acyclic paths over this
+/// graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_CFG_H
+#define DPRLE_MINIPHP_CFG_H
+
+#include "miniphp/Ast.h"
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace dprle {
+namespace miniphp {
+
+/// Dense basic-block index.
+using BlockId = uint32_t;
+
+/// One basic block: a run of straight-line statements ended by a branch,
+/// an exit, or a fallthrough edge.
+struct BasicBlock {
+  /// Straight-line statements (Assign / Sink / Call) in order.
+  std::vector<const Stmt *> Stmts;
+  /// The If statement terminating this block, if any (its condition
+  /// selects between Succs[0] = then and Succs[1] = else).
+  const Stmt *Terminator = nullptr;
+  /// Successor blocks; empty for exit blocks and the function end.
+  std::vector<BlockId> Succs;
+};
+
+/// A control-flow graph over a Program (which must outlive the Cfg).
+class Cfg {
+public:
+  /// Builds the CFG; structured control flow only (no loops in mini-PHP),
+  /// so the graph is a DAG.
+  static Cfg build(const Program &P);
+
+  unsigned numBlocks() const { return Blocks.size(); }
+  const BasicBlock &block(BlockId B) const { return Blocks[B]; }
+  BlockId entry() const { return 0; }
+
+  /// Graphviz rendering (for debugging generated corpora).
+  void printDot(std::ostream &Os) const;
+
+private:
+  BlockId addBlock() {
+    Blocks.emplace_back();
+    return static_cast<BlockId>(Blocks.size() - 1);
+  }
+
+  /// Lowers \p Stmts into blocks starting at \p Current; returns the block
+  /// control falls out of, or InvalidBlock if every path exits.
+  BlockId lower(const std::vector<StmtPtr> &Stmts, BlockId Current);
+
+  static constexpr BlockId InvalidBlock = static_cast<BlockId>(-1);
+
+  std::vector<BasicBlock> Blocks;
+};
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_CFG_H

@@ -1,0 +1,394 @@
+//===- Corpus.cpp - Synthetic benchmark corpus ----------------------------===//
+
+#include "miniphp/Corpus.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace dprle::miniphp;
+
+namespace {
+
+/// Anchored (correct) validation patterns: jointly satisfiable by "1".
+/// Every pattern compiles to a (near-)deterministic machine so that
+/// products of repeated filters stay flat even in the paper-faithful
+/// mode that skips constant canonicalization.
+const char *const AnchoredPatterns[] = {
+    "^[0-9]+$",    "^\\d+$",          "^[0-9][0-9a-f]*$",
+    "^[0-9a-f]+$", "^\\d[0-9a-f]*$",  "^[0-9][0-9]*$",
+};
+constexpr unsigned NumAnchored = 6;
+
+/// Faulty validation patterns in the style of paper Figure 1 (missing
+/// '^'): all satisfied by any string ending in a digit, so quotes pass.
+/// Repeated products of "ends with one digit" machines stay flat (the
+/// off-diagonal pairs are dead and trim away); the "[\d]+$" machine is
+/// product-explosive (it guesses where the final digit run starts), so
+/// the generator uses it at most once per input outside the pathological
+/// configuration.
+const char *const FaultyPatterns[] = {
+    "[\\d]+$",
+    "[0-9]$",
+    "\\d$",
+};
+constexpr unsigned NumFaulty = 3;
+
+/// Unanchored "contains" checks applied to assembled queries in the
+/// pathological `secure` configuration.
+const char *const QueryPatterns[] = {"=", "-", "_", "%", ";", "&"};
+constexpr unsigned NumQueryPatterns = 6;
+
+/// Bounded-but-unanchored suffix checks: the `secure` pathology. Their
+/// Thompson machines are "jump NFAs" (optional chains), so repeated
+/// products compound state spaces unless constants are canonicalized —
+/// reproducing the paper's observation that large, explicitly tracked
+/// machines made this one case orders of magnitude slower, and that NFA
+/// minimization should repair it.
+const char *const BombPatterns[] = {
+    "[0-9]{1,6}$",
+    "[0-9]{1,8}$",
+    "[\\d]+$",
+};
+constexpr unsigned NumBombPatterns = 3;
+
+/// Tiny deterministic PRNG (xorshift) so corpora are reproducible.
+struct Rng {
+  explicit Rng(unsigned Seed) : State(Seed * 2654435761u + 1) {}
+  unsigned next() {
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State;
+  }
+  unsigned range(unsigned N) { return next() % N; }
+  unsigned State;
+};
+
+/// Emits a quote-free SQL-ish literal of exactly \p Length characters;
+/// guaranteed to contain every QueryPatterns character when Length >= 64.
+std::string sqlFiller(Rng &R, size_t Length) {
+  static const char *const Words[] = {
+      "SELECT", "field", "FROM",  "table", "WHERE", "ORDER", "BY",
+      "LIMIT",  "id",    "name",  "value", "data",  "user",  "page",
+  };
+  std::string Out = "a=b-c_d%e;f&g ";
+  while (Out.size() < Length) {
+    Out += Words[R.range(sizeof(Words) / sizeof(Words[0]))];
+    Out += R.range(3) ? " " : "=";
+  }
+  Out.resize(Length);
+  // A trailing backslash would escape the closing quote; avoid it.
+  if (!Out.empty() && Out.back() == '\\')
+    Out.back() = ' ';
+  return Out;
+}
+
+/// The generation plan computed from a VulnSpec; emitSource turns it into
+/// concrete mini-PHP text.
+struct Plan {
+  unsigned NumInputs = 1;
+  unsigned InputFilters = 0;     ///< simple filters on inputs (+2 blocks)
+  unsigned IfElseFilters = 0;    ///< if/else-form filters (+3 blocks)
+  unsigned QueryFilters = 0;     ///< pathological filters on $q
+  unsigned BombFilters = 0;      ///< bounded-suffix jump-NFA filters
+  unsigned QueryTerms = 2;       ///< terms of the sink expression
+  unsigned Decoys2 = 0;          ///< post-sink decoys (+2 blocks)
+  unsigned Decoys3 = 0;          ///< post-sink if/else decoys (+3 blocks)
+  size_t BigLiteralLength = 12;  ///< literal size inside the query
+  bool Pathological = false;
+};
+
+Plan planFor(const VulnSpec &Spec) {
+  Plan P;
+  P.Pathological = Spec.Pathological;
+  const unsigned B = Spec.TargetBlocks;
+  const unsigned C = Spec.TargetConstraints;
+  assert(C >= 3 && "need at least a filter, a prefix, and an input");
+  assert(B >= 5 && "need at least one filter and one decoy");
+
+  unsigned Filters;
+  if (Spec.Pathological) {
+    // secure: bounded-suffix filters whose Thompson machines are jump
+    // NFAs (BombPatterns) compound under repeated products, and checks
+    // over the assembled query re-traverse the very large tracked
+    // literals. Canonicalizing constants (the E9 ablation) repairs both.
+    P.QueryTerms = 3;
+    P.BigLiteralLength = 3000;
+    P.QueryFilters = 20;
+    unsigned Used = P.QueryFilters * P.QueryTerms + P.QueryTerms;
+    assert(C >= Used + 1 && "pathological plan needs input filters");
+    Filters = C - Used;
+    P.BombFilters = Filters < 6 ? Filters : 6;
+    P.NumInputs = 1;
+  } else {
+    // Split |C| between branch filters and sink concatenation terms.
+    unsigned MaxByBlocks = (B - 1) / 2 >= 1 ? (B - 1) / 2 - 1 : 0;
+    Filters = C - 2;
+    if (Filters > MaxByBlocks)
+      Filters = MaxByBlocks;
+    if (Filters > 160)
+      Filters = 160;
+    assert(Filters >= 1 && "block budget too small for one filter");
+    P.QueryTerms = C - Filters;
+    assert(P.QueryTerms >= 2 && "sink needs a prefix and an input");
+    P.NumInputs = Filters / 10 + 1;
+    if (P.NumInputs > 16)
+      P.NumInputs = 16;
+  }
+
+  // Fill the block budget: 1 + 2*(simple ifs) + 3*(if/else forms).
+  unsigned Base = 1 + 2 * (Filters + P.QueryFilters);
+  assert(B >= Base && "constraint count exceeds block budget");
+  unsigned Delta = B - Base;
+  if (Delta % 2 == 1) {
+    // Convert one filter to if/else form (+1 block).
+    assert(Filters >= 1);
+    P.IfElseFilters = 1;
+    Filters -= 1;
+    Delta -= 1;
+  }
+  P.InputFilters = Filters;
+  P.Decoys2 = Delta / 2;
+  return P;
+}
+
+std::string emitSource(const VulnSpec &Spec, const Plan &P) {
+  Rng R(Spec.Seed + 7);
+  std::string Out;
+  Out += "<?php\n";
+  Out += "// generated corpus file " + Spec.Suite + "/" + Spec.Name +
+         " (seed " + std::to_string(Spec.Seed) + ")\n";
+
+  // Input reads. $in0 is the exploitable one.
+  for (unsigned I = 0; I != P.NumInputs; ++I)
+    Out += "$in" + std::to_string(I) + " = $_POST['" +
+           (I == 0 ? "id" : "field" + std::to_string(I)) + "'];\n";
+
+  // Filters. Round-robin over inputs; $in0 receives only faulty
+  // (unanchored) patterns so the attack remains feasible. In the
+  // pathological plan the *last* BombFilters checks use the
+  // bounded-suffix pool (cheap filters run first, as in real code where
+  // simple checks precede elaborate ones).
+  unsigned TotalInputFilters = P.InputFilters + P.IfElseFilters;
+  // Realism: wrap $in0's checks in a sanitizer helper when there are
+  // enough of them. Function inlining runs before CFG construction, so
+  // |FG| and |C| are unchanged.
+  bool UseSanitizer = !P.Pathological && TotalInputFilters >= 8 &&
+                      P.NumInputs > 1 && P.IfElseFilters == 0;
+  auto FilterPattern = [&](unsigned Input, unsigned Index) {
+    if (P.Pathological && Index + P.BombFilters >= TotalInputFilters)
+      return std::string(BombPatterns[Index % NumBombPatterns]);
+    if (Input == 0)
+      // One product-explosive pattern at most; the rest are flat
+      // "ends with a digit" checks.
+      return std::string(
+          Index == 0 && !P.Pathological ? FaultyPatterns[0]
+                                        : FaultyPatterns[1 + Index % 2]);
+    return std::string(AnchoredPatterns[Index % NumAnchored]);
+  };
+  if (UseSanitizer) {
+    // The first six checks (all on $in0) move into a helper; the call
+    // site replaces them.
+    std::string Fn = "function check_id($v) {\n";
+    for (unsigned I = 0; I != 6; ++I)
+      Fn += "  if (!preg_match('/" + FilterPattern(0, I) +
+            "/', $v)) { unp_msgBox('bad input'); exit; }\n";
+    Fn += "  return $v;\n}\n";
+    // Declarations precede the reads in the emitted file.
+    size_t At = Out.find("$in0 = ");
+    Out.insert(At, Fn);
+  }
+  for (unsigned I = 0; I != TotalInputFilters; ++I) {
+    // $in0 receives at most its first six checks; the bulk goes to the
+    // other inputs, whose anchored patterns compose flatly.
+    unsigned Input = 0;
+    if (P.NumInputs > 1 && I >= 6)
+      Input = 1 + (I - 6) % (P.NumInputs - 1);
+    if (UseSanitizer && I < 6) {
+      if (I == 0)
+        Out += "$in0 = check_id($in0);\n";
+      continue;
+    }
+    std::string Var = "$in" + std::to_string(Input);
+    std::string Pattern = FilterPattern(Input, I);
+    if (I < P.IfElseFilters) {
+      Out += "if (preg_match('/" + Pattern + "/', " + Var +
+             ")) { $ok" + std::to_string(I) +
+             " = 'y'; } else { unp_msgBox('bad input'); exit; }\n";
+    } else {
+      Out += "if (!preg_match('/" + Pattern + "/', " + Var +
+             ")) { unp_msgBox('bad input'); exit; }\n";
+    }
+  }
+
+  // The query expression. The exploitable input always comes last so the
+  // attack quote lands in its segment.
+  std::string Query;
+  if (P.Pathological) {
+    Out += "$q = \"" + sqlFiller(R, P.BigLiteralLength) + "\" . $in0 . \"" +
+           sqlFiller(R, P.BigLiteralLength) + "\";\n";
+    for (unsigned I = 0; I != P.QueryFilters; ++I)
+      Out += std::string("if (!preg_match('/") +
+             QueryPatterns[I % NumQueryPatterns] +
+             "/', $q)) { unp_msgBox('bad query'); exit; }\n";
+    Query = "$q";
+  } else {
+    Query = "\"SELECT f FROM t WHERE a=\"";
+    unsigned Middle = P.QueryTerms - 2; // between prefix and $in0
+    for (unsigned I = 0; I != Middle; ++I) {
+      if (I % 2 == 0 && P.NumInputs > 1) {
+        Query += " . $in" + std::to_string(1 + (I / 2) % (P.NumInputs - 1));
+      } else {
+        Query += " . \" AND c" + std::to_string(I) + "=\"";
+      }
+    }
+    Query += " . $in0";
+  }
+  Out += "$r = query(" + Query + ");\n";
+
+  // Post-sink decoys: inflate |FG| without touching the analyzed path.
+  for (unsigned I = 0; I != P.Decoys2; ++I)
+    Out += "if ($r == 'row" + std::to_string(I) + "') { $d" +
+           std::to_string(I) + " = 'x'; exit; }\n";
+  for (unsigned I = 0; I != P.Decoys3; ++I)
+    Out += "if ($r == 'alt" + std::to_string(I) + "') { $e" +
+           std::to_string(I) + " = 'a'; } else { $e" +
+           std::to_string(I) + " = 'b'; }\n";
+  Out += "?>\n";
+  return Out;
+}
+
+} // namespace
+
+std::vector<VulnSpec> dprle::miniphp::figure12Specs() {
+  // The 17 rows of paper Figure 12: name, |FG|, |C|, T_S (seconds).
+  auto Row = [](const char *Suite, const char *Name, unsigned FG,
+                unsigned C, double TS, bool Pathological = false) {
+    VulnSpec S;
+    S.Suite = Suite;
+    S.Name = Name;
+    S.TargetBlocks = FG;
+    S.TargetConstraints = C;
+    S.PaperSeconds = TS;
+    S.Pathological = Pathological;
+    S.Seed = FG * 31 + C;
+    return S;
+  };
+  return {
+      Row("eve", "edit", 58, 29, 0.32),
+      Row("utopia", "login", 295, 16, 0.052),
+      Row("utopia", "profile", 855, 16, 0.006),
+      Row("utopia", "styles", 597, 156, 0.65),
+      Row("utopia", "comm", 994, 102, 0.26),
+      Row("warp", "cxapp", 620, 10, 0.054),
+      Row("warp", "ax_help", 610, 4, 0.010),
+      Row("warp", "usr_reg", 608, 10, 0.53),
+      Row("warp", "ax_ed", 630, 10, 0.063),
+      Row("warp", "cart_shop", 856, 31, 0.17),
+      Row("warp", "req_redir", 640, 41, 0.43),
+      Row("warp", "secure", 648, 81, 577.0, /*Pathological=*/true),
+      Row("warp", "a_cont", 606, 10, 0.057),
+      Row("warp", "usr_prf", 740, 66, 0.22),
+      Row("warp", "xw_mn", 698, 387, 0.50),
+      Row("warp", "castvote", 710, 10, 0.052),
+      Row("warp", "pay_nfo", 628, 10, 0.18),
+  };
+}
+
+std::string dprle::miniphp::generateVulnerableSource(const VulnSpec &Spec) {
+  return emitSource(Spec, planFor(Spec));
+}
+
+std::string dprle::miniphp::generateBenignSource(unsigned Seed,
+                                                 unsigned TargetLines) {
+  Rng R(Seed);
+  std::string Out;
+  Out += "<?php\n";
+  Out += "// generated benign corpus file (seed " + std::to_string(Seed) +
+         ")\n";
+  Out += "function check_item($v) {\n"
+         "  if (!preg_match('/^[0-9]+$/', $v)) { unp_msgBox('no'); exit; }\n"
+         "  return $v;\n"
+         "}\n";
+  Out += "$x = check_item($_POST['item']);\n";
+  Out += "$sep = '';\n";
+  Out += "while ($sep != ',') { $sep = $sep . ','; }\n";
+  Out += "$r = query(\"SELECT f FROM t WHERE id=\" . $x);\n";
+  unsigned Emitted = 10;
+  unsigned DecoyIdx = 0;
+  while (Emitted + 2 < TargetLines) {
+    if (R.range(3) == 0) {
+      Out += "if ($r == 'k" + std::to_string(DecoyIdx) + "') { $w" +
+             std::to_string(DecoyIdx) + " = 'v'; exit; }\n";
+      ++DecoyIdx;
+    } else {
+      Out += "// filler: " + sqlFiller(R, 24 + R.range(32)) + "\n";
+    }
+    ++Emitted;
+  }
+  Out += "?>\n";
+  return Out;
+}
+
+unsigned Suite::totalLines() const {
+  unsigned Total = 0;
+  for (const SuiteFile &F : Files) {
+    for (char C : F.Source)
+      Total += C == '\n';
+  }
+  return Total;
+}
+
+std::vector<Suite> dprle::miniphp::figure11Suites() {
+  struct SuitePlan {
+    const char *Name;
+    const char *Version;
+    unsigned Files;
+    unsigned Loc;
+  };
+  // Figure 11: name, version, files, LOC; the vulnerable files are the
+  // Figure 12 rows of the same suite.
+  const SuitePlan Plans[] = {
+      {"eve", "1.0", 8, 905},
+      {"utopia", "1.3.0", 24, 5438},
+      {"warp", "1.2.1", 44, 24365},
+  };
+  std::vector<VulnSpec> Vulns = figure12Specs();
+
+  std::vector<Suite> Out;
+  for (const SuitePlan &SP : Plans) {
+    Suite S;
+    S.Name = SP.Name;
+    S.Version = SP.Version;
+    unsigned VulnLines = 0;
+    for (const VulnSpec &V : Vulns) {
+      if (V.Suite != SP.Name)
+        continue;
+      SuiteFile F;
+      F.Name = V.Name + ".php";
+      F.Source = generateVulnerableSource(V);
+      F.SeededVulnerable = true;
+      for (char C : F.Source)
+        VulnLines += C == '\n';
+      S.Files.push_back(std::move(F));
+    }
+    assert(SP.Files >= S.Files.size() && "more vulns than files");
+    unsigned BenignFiles = SP.Files - S.Files.size();
+    unsigned Remaining = SP.Loc > VulnLines ? SP.Loc - VulnLines : 0;
+    for (unsigned I = 0; I != BenignFiles; ++I) {
+      unsigned Target = BenignFiles ? Remaining / (BenignFiles - I) : 0;
+      if (Target < 8)
+        Target = 8;
+      SuiteFile F;
+      F.Name = "page" + std::to_string(I) + ".php";
+      F.Source = generateBenignSource(1000 + I, Target);
+      unsigned Lines = 0;
+      for (char C : F.Source)
+        Lines += C == '\n';
+      Remaining = Remaining > Lines ? Remaining - Lines : 0;
+      S.Files.push_back(std::move(F));
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}

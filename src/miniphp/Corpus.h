@@ -1,0 +1,81 @@
+//===- Corpus.h - Synthetic benchmark corpus --------------------*- C++ -*-==//
+///
+/// \file
+/// Generates the synthetic evaluation corpus substituting for the
+/// Wassermann & Su data set (paper Figures 11 and 12); see DESIGN.md,
+/// "Substitutions". Each generated file is a mini-PHP program whose CFG
+/// block count |FG| and symbolic-execution constraint count |C| match one
+/// row of Figure 12 exactly; the `secure` row additionally embeds very
+/// large tracked string constants and stacked unanchored filters to
+/// reproduce the paper's pathological solving time.
+///
+/// Generator building blocks (all post-validated against the real CFG
+/// builder and symbolic executor by the test suite):
+///
+///  * input reads        — $inK = $_POST['...'];            (+0 blocks)
+///  * filter             — if (!preg_match(...)) { exit; }  (+2 blocks,
+///                         +1 |C|)
+///  * if/else filter     — same with an else arm            (+3 blocks,
+///                         +1 |C|)
+///  * query sink         — query(prefix . $in1 ... . $in0); (+|terms| |C|)
+///  * post-sink decoys   — never symbolically executed      (+2/+3 blocks)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_CORPUS_H
+#define DPRLE_MINIPHP_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace dprle {
+namespace miniphp {
+
+/// One Figure 12 row: a vulnerability with target statistics.
+struct VulnSpec {
+  std::string Suite;           ///< "eve" | "utopia" | "warp"
+  std::string Name;            ///< e.g. "edit", "login", "secure"
+  unsigned TargetBlocks = 0;   ///< |FG|
+  unsigned TargetConstraints = 0; ///< |C|
+  double PaperSeconds = 0.0;   ///< T_S reported by the paper
+  bool Pathological = false;   ///< the `secure` row
+  unsigned Seed = 0;
+};
+
+/// The 17 rows of paper Figure 12.
+std::vector<VulnSpec> figure12Specs();
+
+/// Generates a vulnerable mini-PHP source for \p Spec. Postconditions
+/// (checked by CorpusTest): the CFG has exactly Spec.TargetBlocks blocks
+/// and the first sink path generates exactly Spec.TargetConstraints
+/// constraint equations.
+std::string generateVulnerableSource(const VulnSpec &Spec);
+
+/// Generates a benign filler file of roughly \p TargetLines lines whose
+/// inputs are correctly filtered (no vulnerability).
+std::string generateBenignSource(unsigned Seed, unsigned TargetLines);
+
+/// One file of a Figure 11 application suite.
+struct SuiteFile {
+  std::string Name;
+  std::string Source;
+  bool SeededVulnerable = false;
+};
+
+/// One Figure 11 application (eve / utopia / warp).
+struct Suite {
+  std::string Name;
+  std::string Version;
+  std::vector<SuiteFile> Files;
+
+  unsigned totalLines() const;
+};
+
+/// The three applications of paper Figure 11, with matching file counts,
+/// total LOC, and number of vulnerable files.
+std::vector<Suite> figure11Suites();
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_CORPUS_H

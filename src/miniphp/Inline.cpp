@@ -1,0 +1,194 @@
+//===- Inline.cpp - Function inlining --------------------------------------===//
+
+#include "miniphp/Inline.h"
+#include "miniphp/Unroll.h"
+
+#include <map>
+#include <set>
+
+using namespace dprle::miniphp;
+
+namespace {
+
+class Inliner {
+public:
+  explicit Inliner(const Program &P) : Source(P) {
+    for (const FunctionDecl &Fn : P.Functions)
+      Functions.emplace(Fn.Name, &Fn);
+  }
+
+  InlineResult run() {
+    InlineResult Result;
+    std::vector<StmtPtr> Body = inlineBody(Source.Body);
+    if (Failed) {
+      Result.Error = ErrorMsg;
+      Result.ErrorLine = ErrorLine;
+      return Result;
+    }
+    Result.Prog.Body = std::move(Body);
+    Result.Ok = true;
+    return Result;
+  }
+
+private:
+  void fail(const std::string &Msg, unsigned Line) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMsg = Msg;
+    ErrorLine = Line;
+  }
+
+  /// Renames every variable atom/target of \p S in place with \p Prefix;
+  /// parameters and locals alike (inputs and literals are untouched).
+  void renameVars(Stmt &S, const std::string &Prefix) {
+    auto RenameExpr = [&](StrExpr &E) {
+      for (Atom &A : E)
+        if (A.AtomKind == Atom::Kind::Variable)
+          A.Text = Prefix + A.Text;
+    };
+    if (!S.Target.empty())
+      S.Target = Prefix + S.Target;
+    RenameExpr(S.Value);
+    RenameExpr(S.Cond.Operand);
+    RenameExpr(S.Arg);
+    for (StrExpr &E : S.CallArgs)
+      RenameExpr(E);
+    for (StmtPtr &Child : S.Then)
+      renameVars(*Child, Prefix);
+    for (StmtPtr &Child : S.Else)
+      renameVars(*Child, Prefix);
+  }
+
+  /// Expands one call to \p Fn into \p Out. \p Target (may be empty)
+  /// receives the return value.
+  void inlineCall(const Stmt &Call, const FunctionDecl &Fn,
+                  std::vector<StmtPtr> &Out) {
+    if (ActiveCalls.count(Fn.Name)) {
+      fail("recursive call to '" + Fn.Name + "' cannot be inlined",
+           Call.Line);
+      return;
+    }
+    if (Call.CallArgs.size() != Fn.Params.size()) {
+      fail("call to '" + Fn.Name + "' passes " +
+               std::to_string(Call.CallArgs.size()) + " argument(s); " +
+               "declared with " + std::to_string(Fn.Params.size()),
+           Call.Line);
+      return;
+    }
+    ActiveCalls.insert(Fn.Name);
+    std::string Prefix = "__in" + std::to_string(InlineCounter++) + "_";
+
+    // Bind parameters to caller-evaluated arguments.
+    for (size_t I = 0; I != Fn.Params.size(); ++I) {
+      auto Bind = std::make_unique<Stmt>(Stmt::Kind::Assign);
+      Bind->Line = Call.Line;
+      Bind->Target = Prefix + Fn.Params[I];
+      Bind->Value = Call.CallArgs[I]; // caller scope: not renamed
+      Out.push_back(std::move(Bind));
+    }
+
+    // Splice the body: rename locals, recursively inline nested calls,
+    // and turn the tail return into an assignment to the call target.
+    for (size_t I = 0; I != Fn.Body.size() && !Failed; ++I) {
+      const Stmt &S = *Fn.Body[I];
+      bool IsLast = I + 1 == Fn.Body.size();
+      if (S.StmtKind == Stmt::Kind::Return) {
+        if (!IsLast) {
+          fail("'return' is only supported as the last statement of '" +
+                   Fn.Name + "'",
+               S.Line);
+          break;
+        }
+        if (!Call.Target.empty()) {
+          auto Assign = std::make_unique<Stmt>(Stmt::Kind::Assign);
+          Assign->Line = S.Line;
+          Assign->Target = Call.Target; // caller scope: already renamed
+          Assign->Value = S.Value;
+          for (Atom &A : Assign->Value)
+            if (A.AtomKind == Atom::Kind::Variable)
+              A.Text = Prefix + A.Text;
+          Out.push_back(std::move(Assign));
+        }
+        break;
+      }
+      if (containsReturn(S)) {
+        fail("'return' is only supported as the last statement of '" +
+                 Fn.Name + "'",
+             S.Line);
+        break;
+      }
+      StmtPtr Copy = cloneStmt(S);
+      renameVars(*Copy, Prefix);
+      // Recursively inline calls inside the (renamed) body statement.
+      std::vector<StmtPtr> One;
+      One.push_back(std::move(Copy));
+      std::vector<StmtPtr> Expanded = inlineBody(One);
+      for (StmtPtr &E : Expanded)
+        Out.push_back(std::move(E));
+    }
+    ActiveCalls.erase(Fn.Name);
+  }
+
+  static bool containsReturn(const Stmt &S) {
+    if (S.StmtKind == Stmt::Kind::Return)
+      return true;
+    for (const StmtPtr &Child : S.Then)
+      if (containsReturn(*Child))
+        return true;
+    for (const StmtPtr &Child : S.Else)
+      if (containsReturn(*Child))
+        return true;
+    return false;
+  }
+
+  std::vector<StmtPtr> inlineBody(const std::vector<StmtPtr> &Body) {
+    std::vector<StmtPtr> Out;
+    for (const StmtPtr &S : Body) {
+      if (Failed)
+        break;
+      switch (S->StmtKind) {
+      case Stmt::Kind::Call: {
+        auto It = Functions.find(S->Callee);
+        if (It != Functions.end()) {
+          inlineCall(*S, *It->second, Out);
+          break;
+        }
+        Out.push_back(cloneStmt(*S)); // opaque call
+        break;
+      }
+      case Stmt::Kind::Return:
+        fail("'return' outside of a function body", S->Line);
+        break;
+      case Stmt::Kind::If:
+      case Stmt::Kind::While: {
+        auto Copy = std::make_unique<Stmt>(S->StmtKind);
+        Copy->Line = S->Line;
+        Copy->Cond = S->Cond;
+        Copy->Then = inlineBody(S->Then);
+        Copy->Else = inlineBody(S->Else);
+        Out.push_back(std::move(Copy));
+        break;
+      }
+      default:
+        Out.push_back(cloneStmt(*S));
+        break;
+      }
+    }
+    return Out;
+  }
+
+  const Program &Source;
+  std::map<std::string, const FunctionDecl *> Functions;
+  std::set<std::string> ActiveCalls;
+  unsigned InlineCounter = 0;
+  bool Failed = false;
+  std::string ErrorMsg;
+  unsigned ErrorLine = 0;
+};
+
+} // namespace
+
+InlineResult dprle::miniphp::inlineFunctions(const Program &P) {
+  return Inliner(P).run();
+}

@@ -1,0 +1,45 @@
+//===- Inline.h - Function inlining -----------------------------*- C++ -*-==//
+///
+/// \file
+/// Inlines user-defined functions at their call sites so the rest of the
+/// pipeline (loop unrolling, CFG, symbolic execution) stays
+/// interprocedural-free. Applied before unrollLoops.
+///
+/// Semantics and restrictions (checked, reported via InlineResult):
+///
+///  * A function body may `exit` anywhere, but `return` may only appear
+///    as the *last* statement of the body (tail return) — the common
+///    shape of sanitizer helpers. A body without a tail return returns
+///    the empty string.
+///  * Calls may not be (mutually) recursive.
+///  * Locals and parameters are renamed per call site (`__inN_name`), so
+///    inlining never captures caller variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_INLINE_H
+#define DPRLE_MINIPHP_INLINE_H
+
+#include "miniphp/Ast.h"
+
+#include <string>
+
+namespace dprle {
+namespace miniphp {
+
+/// Outcome of inlining.
+struct InlineResult {
+  Program Prog;
+  bool Ok = false;
+  std::string Error;
+  unsigned ErrorLine = 0;
+};
+
+/// Inlines every call to a declared function. The result contains no
+/// user-defined function declarations and no Return statements.
+InlineResult inlineFunctions(const Program &P);
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_INLINE_H

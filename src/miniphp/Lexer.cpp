@@ -1,0 +1,211 @@
+//===- Lexer.cpp - Mini-PHP lexer -----------------------------------------===//
+
+#include "miniphp/Lexer.h"
+
+#include <cctype>
+
+using namespace dprle::miniphp;
+
+std::vector<Token> dprle::miniphp::tokenize(const std::string &Source) {
+  std::vector<Token> Out;
+  size_t Pos = 0;
+  unsigned Line = 1;
+
+  auto Push = [&](Token::Kind Kind, std::string Text = "") {
+    Token T;
+    T.TokKind = Kind;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    Out.push_back(std::move(T));
+  };
+
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    // Comments: //, #, /* */.
+    if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/') {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '#') {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '*') {
+      Pos += 2;
+      while (Pos + 1 < Source.size() &&
+             !(Source[Pos] == '*' && Source[Pos + 1] == '/')) {
+        if (Source[Pos] == '\n')
+          ++Line;
+        ++Pos;
+      }
+      Pos = Pos + 2 <= Source.size() ? Pos + 2 : Source.size();
+      continue;
+    }
+    // PHP markers (checked before '<' lexes as a comparison).
+    if (C == '<' && Source.compare(Pos, 5, "<?php") == 0) {
+      Pos += 5;
+      continue;
+    }
+    if (C == '?' && Pos + 1 < Source.size() && Source[Pos + 1] == '>') {
+      Pos += 2;
+      continue;
+    }
+    if (C == '<' || C == '>') {
+      bool OrEqual = Pos + 1 < Source.size() && Source[Pos + 1] == '=';
+      Pos += OrEqual ? 2 : 1;
+      Push(C == '<' ? (OrEqual ? Token::Kind::Le : Token::Kind::Lt)
+                    : (OrEqual ? Token::Kind::Ge : Token::Kind::Gt));
+      continue;
+    }
+    if (C == '$') {
+      size_t Begin = ++Pos;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '_'))
+        ++Pos;
+      if (Pos == Begin) {
+        Push(Token::Kind::Error, "lone '$'");
+        return Out;
+      }
+      Push(Token::Kind::Variable, Source.substr(Begin, Pos - Begin));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Begin = Pos;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '_'))
+        ++Pos;
+      Push(Token::Kind::Ident, Source.substr(Begin, Pos - Begin));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Begin = Pos;
+      while (Pos < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Source[Pos])))
+        ++Pos;
+      Push(Token::Kind::Number, Source.substr(Begin, Pos - Begin));
+      continue;
+    }
+    if (C == '\'' || C == '"') {
+      char Quote = C;
+      ++Pos;
+      std::string Text;
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        char D = Source[Pos];
+        if (D == '\\' && Pos + 1 < Source.size()) {
+          char E = Source[Pos + 1];
+          // PHP-ish escapes; unknown escapes keep the backslash for
+          // single quotes, drop it for double quotes' known set.
+          if (E == Quote || E == '\\') {
+            Text += E;
+            Pos += 2;
+            continue;
+          }
+          if (Quote == '"' && E == 'n') {
+            Text += '\n';
+            Pos += 2;
+            continue;
+          }
+          if (Quote == '"' && E == 't') {
+            Text += '\t';
+            Pos += 2;
+            continue;
+          }
+          Text += D;
+          ++Pos;
+          continue;
+        }
+        if (D == Quote) {
+          Closed = true;
+          ++Pos;
+          break;
+        }
+        if (D == '\n')
+          ++Line;
+        Text += D;
+        ++Pos;
+      }
+      if (!Closed) {
+        Push(Token::Kind::Error, "unterminated string literal");
+        return Out;
+      }
+      Push(Token::Kind::String, std::move(Text));
+      continue;
+    }
+    switch (C) {
+    case '=':
+      if (Pos + 1 < Source.size() && Source[Pos + 1] == '=') {
+        Pos += 2;
+        Push(Token::Kind::EqEq);
+      } else {
+        ++Pos;
+        Push(Token::Kind::Assign);
+      }
+      continue;
+    case '!':
+      if (Pos + 1 < Source.size() && Source[Pos + 1] == '=') {
+        Pos += 2;
+        Push(Token::Kind::NotEq);
+      } else {
+        ++Pos;
+        Push(Token::Kind::Not);
+      }
+      continue;
+    case '.':
+      ++Pos;
+      Push(Token::Kind::Dot);
+      continue;
+    case ',':
+      ++Pos;
+      Push(Token::Kind::Comma);
+      continue;
+    case ';':
+      ++Pos;
+      Push(Token::Kind::Semi);
+      continue;
+    case '(':
+      ++Pos;
+      Push(Token::Kind::LParen);
+      continue;
+    case ')':
+      ++Pos;
+      Push(Token::Kind::RParen);
+      continue;
+    case '{':
+      ++Pos;
+      Push(Token::Kind::LBrace);
+      continue;
+    case '}':
+      ++Pos;
+      Push(Token::Kind::RBrace);
+      continue;
+    case '[':
+      ++Pos;
+      Push(Token::Kind::LBracket);
+      continue;
+    case ']':
+      ++Pos;
+      Push(Token::Kind::RBracket);
+      continue;
+    default:
+      Push(Token::Kind::Error,
+           std::string("unexpected character '") + C + "'");
+      return Out;
+    }
+  }
+  Push(Token::Kind::End);
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- Lexer.h - Mini-PHP lexer ---------------------------------*- C++ -*-==//
+///
+/// \file
+/// Tokenizer for mini-PHP sources. Recognizes PHP-style variables ($x and
+/// the $_GET/$_POST superglobals), single- and double-quoted strings,
+/// identifiers, and the punctuation the parser needs. `<?php` / `?>`
+/// markers and comments are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_LEXER_H
+#define DPRLE_MINIPHP_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace dprle {
+namespace miniphp {
+
+struct Token {
+  enum class Kind {
+    End,
+    Variable, // $name (Text holds "name")
+    Ident,    // bare identifier / keyword
+    String,   // quoted string (Text decoded)
+    Number,   // digits (kept as text)
+    Assign,   // =
+    EqEq,     // ==
+    NotEq,    // !=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    Not,      // !
+    Dot,      // .
+    Comma,
+    Semi,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Error
+  };
+  Kind TokKind = Kind::End;
+  std::string Text;
+  unsigned Line = 1;
+};
+
+/// Tokenizes \p Source; on a lexical error the last token has kind Error
+/// with a message in Text.
+std::vector<Token> tokenize(const std::string &Source);
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_LEXER_H

@@ -1,0 +1,452 @@
+//===- Parser.cpp - Mini-PHP parser ---------------------------------------===//
+
+#include "miniphp/Parser.h"
+#include "miniphp/Lexer.h"
+
+#include <cassert>
+
+using namespace dprle::miniphp;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Tokens(tokenize(Source)) {}
+
+  ParseResult run() {
+    ParseResult Result;
+    if (!Tokens.empty() && Tokens.back().TokKind == Token::Kind::Error) {
+      Result.Error = Tokens.back().Text;
+      Result.ErrorLine = Tokens.back().Line;
+      return Result;
+    }
+    while (!Failed && cur().TokKind != Token::Kind::End) {
+      if (cur().TokKind == Token::Kind::Ident && cur().Text == "function") {
+        parseFunction(Result.Prog);
+        continue;
+      }
+      Result.Prog.Body.push_back(parseStmt());
+    }
+    if (Failed) {
+      Result.Prog.Body.clear();
+      Result.Error = ErrorMsg;
+      Result.ErrorLine = ErrorLine;
+      return Result;
+    }
+    Result.Ok = true;
+    return Result;
+  }
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peekNext() const {
+    return Pos + 1 < Tokens.size() ? Tokens[Pos + 1] : Tokens.back();
+  }
+  void advance() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+
+  void fail(const std::string &Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMsg = Msg;
+    ErrorLine = cur().Line;
+  }
+
+  bool expect(Token::Kind Kind, const char *What) {
+    if (cur().TokKind != Kind) {
+      fail(std::string("expected ") + What);
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  bool isInputSuperglobal(const Token &T) const {
+    return T.TokKind == Token::Kind::Variable &&
+           (T.Text == "_POST" || T.Text == "_GET");
+  }
+
+  /// Parses one atom: string, number, $var, or $_POST['key'].
+  bool parseAtom(StrExpr &Out) {
+    const Token &T = cur();
+    switch (T.TokKind) {
+    case Token::Kind::String:
+    case Token::Kind::Number:
+      Out.push_back(Atom::literal(T.Text));
+      advance();
+      return true;
+    case Token::Kind::Variable: {
+      if (isInputSuperglobal(T)) {
+        std::string Source = T.Text;
+        advance();
+        if (!expect(Token::Kind::LBracket, "'[' after superglobal"))
+          return false;
+        if (cur().TokKind != Token::Kind::String) {
+          fail("expected string key");
+          return false;
+        }
+        std::string Key = cur().Text;
+        advance();
+        if (!expect(Token::Kind::RBracket, "']'"))
+          return false;
+        Out.push_back(Atom::input(std::move(Source), std::move(Key)));
+        return true;
+      }
+      Out.push_back(Atom::variable(T.Text));
+      advance();
+      return true;
+    }
+    default:
+      fail("expected a string expression atom");
+      return false;
+    }
+  }
+
+  /// expr := atom ('.' atom)*
+  bool parseExpr(StrExpr &Out) {
+    if (!parseAtom(Out))
+      return false;
+    while (cur().TokKind == Token::Kind::Dot) {
+      advance();
+      if (!parseAtom(Out))
+        return false;
+    }
+    return true;
+  }
+
+  Condition parseCondition() {
+    Condition Cond;
+    if (cur().TokKind == Token::Kind::Not) {
+      Cond.Negated = true;
+      advance();
+    }
+    if (cur().TokKind == Token::Kind::Ident &&
+        cur().Text == "preg_match") {
+      advance();
+      Cond.CondKind = Condition::Kind::PregMatch;
+      expect(Token::Kind::LParen, "'('");
+      if (cur().TokKind != Token::Kind::String) {
+        fail("expected pattern string in preg_match");
+        return Cond;
+      }
+      std::string Raw = cur().Text;
+      advance();
+      // Strip PCRE delimiters: /.../ (we support only '/').
+      if (Raw.size() >= 2 && Raw.front() == '/' && Raw.back() == '/') {
+        Cond.Pattern = Raw.substr(1, Raw.size() - 2);
+      } else {
+        fail("preg_match pattern must use / delimiters");
+        return Cond;
+      }
+      expect(Token::Kind::Comma, "','");
+      parseExpr(Cond.Operand);
+      expect(Token::Kind::RParen, "')'");
+      return Cond;
+    }
+    // strlen(expr) OP number — the paper's Section 3.1.2 length checks.
+    if (cur().TokKind == Token::Kind::Ident && cur().Text == "strlen") {
+      advance();
+      Cond.CondKind = Condition::Kind::Length;
+      expect(Token::Kind::LParen, "'('");
+      parseExpr(Cond.Operand);
+      expect(Token::Kind::RParen, "')'");
+      switch (cur().TokKind) {
+      case Token::Kind::EqEq:
+        Cond.LenOp = LengthOp::Eq;
+        break;
+      case Token::Kind::NotEq:
+        Cond.LenOp = LengthOp::Ne;
+        break;
+      case Token::Kind::Lt:
+        Cond.LenOp = LengthOp::Lt;
+        break;
+      case Token::Kind::Le:
+        Cond.LenOp = LengthOp::Le;
+        break;
+      case Token::Kind::Gt:
+        Cond.LenOp = LengthOp::Gt;
+        break;
+      case Token::Kind::Ge:
+        Cond.LenOp = LengthOp::Ge;
+        break;
+      default:
+        fail("expected a relational operator after strlen(...)");
+        return Cond;
+      }
+      advance();
+      if (cur().TokKind != Token::Kind::Number) {
+        fail("expected a numeric length bound");
+        return Cond;
+      }
+      Cond.LenBound = static_cast<unsigned>(std::stoul(cur().Text));
+      advance();
+      return Cond;
+    }
+    // substr(expr, o, l) ==/!= 'lit' — substring indexing (paper
+    // Section 3.1.2).
+    if (cur().TokKind == Token::Kind::Ident && cur().Text == "substr") {
+      advance();
+      Cond.CondKind = Condition::Kind::Substr;
+      expect(Token::Kind::LParen, "'('");
+      parseExpr(Cond.Operand);
+      expect(Token::Kind::Comma, "','");
+      if (cur().TokKind != Token::Kind::Number) {
+        fail("expected a numeric substr offset");
+        return Cond;
+      }
+      Cond.SubOffset = static_cast<unsigned>(std::stoul(cur().Text));
+      advance();
+      expect(Token::Kind::Comma, "','");
+      if (cur().TokKind != Token::Kind::Number) {
+        fail("expected a numeric substr length");
+        return Cond;
+      }
+      Cond.SubLength = static_cast<unsigned>(std::stoul(cur().Text));
+      advance();
+      expect(Token::Kind::RParen, "')'");
+      bool IsNeq = cur().TokKind == Token::Kind::NotEq;
+      if (cur().TokKind != Token::Kind::EqEq &&
+          cur().TokKind != Token::Kind::NotEq) {
+        fail("expected '==' or '!=' after substr(...)");
+        return Cond;
+      }
+      advance();
+      if (cur().TokKind != Token::Kind::String) {
+        fail("expected a string literal to compare substr against");
+        return Cond;
+      }
+      Cond.Literal = cur().Text;
+      Cond.Negated = Cond.Negated != IsNeq;
+      advance();
+      return Cond;
+    }
+    // expr ==/!= expr with at least one literal side.
+    StrExpr Lhs;
+    if (!parseExpr(Lhs))
+      return Cond;
+    bool IsNeq = cur().TokKind == Token::Kind::NotEq;
+    if (cur().TokKind != Token::Kind::EqEq &&
+        cur().TokKind != Token::Kind::NotEq) {
+      fail("expected '==' or '!=' in condition");
+      return Cond;
+    }
+    advance();
+    StrExpr Rhs;
+    if (!parseExpr(Rhs))
+      return Cond;
+    Cond.CondKind = Condition::Kind::EqualsLiteral;
+    Cond.Negated = Cond.Negated != IsNeq; // '!' and '!=' compose.
+    // Normalize: the literal goes to Cond.Literal, the other side is the
+    // operand. "lit" == expr is accepted as well.
+    auto IsSingleLiteral = [](const StrExpr &E) {
+      return E.size() == 1 && E[0].AtomKind == Atom::Kind::Literal;
+    };
+    if (IsSingleLiteral(Rhs)) {
+      Cond.Operand = std::move(Lhs);
+      Cond.Literal = Rhs[0].Text;
+    } else if (IsSingleLiteral(Lhs)) {
+      Cond.Operand = std::move(Rhs);
+      Cond.Literal = Lhs[0].Text;
+    } else {
+      fail("one side of a string comparison must be a literal");
+    }
+    return Cond;
+  }
+
+  /// function name($p1, $p2) { body }  — the body's last statement must
+  /// be its only return (checked by the inliner; see miniphp/Inline.h).
+  void parseFunction(Program &Prog) {
+    unsigned Line = cur().Line;
+    advance(); // 'function'
+    if (cur().TokKind != Token::Kind::Ident) {
+      fail("expected function name");
+      return;
+    }
+    FunctionDecl Fn;
+    Fn.Name = cur().Text;
+    Fn.Line = Line;
+    advance();
+    if (!expect(Token::Kind::LParen, "'('"))
+      return;
+    while (!Failed && cur().TokKind != Token::Kind::RParen) {
+      if (cur().TokKind != Token::Kind::Variable ||
+          isInputSuperglobal(cur())) {
+        fail("expected parameter name");
+        return;
+      }
+      Fn.Params.push_back(cur().Text);
+      advance();
+      if (cur().TokKind == Token::Kind::Comma)
+        advance();
+      else
+        break;
+    }
+    if (!expect(Token::Kind::RParen, "')'"))
+      return;
+    if (cur().TokKind != Token::Kind::LBrace) {
+      fail("expected '{' to open the function body");
+      return;
+    }
+    Fn.Body = parseBlock();
+    Prog.Functions.push_back(std::move(Fn));
+  }
+
+  std::vector<StmtPtr> parseBlock() {
+    std::vector<StmtPtr> Out;
+    if (cur().TokKind == Token::Kind::LBrace) {
+      advance();
+      while (!Failed && cur().TokKind != Token::Kind::RBrace &&
+             cur().TokKind != Token::Kind::End)
+        Out.push_back(parseStmt());
+      expect(Token::Kind::RBrace, "'}'");
+      return Out;
+    }
+    Out.push_back(parseStmt());
+    return Out;
+  }
+
+  StmtPtr parseStmt() {
+    unsigned Line = cur().Line;
+    // if (...) {...} else {...}
+    if (cur().TokKind == Token::Kind::Ident && cur().Text == "if") {
+      advance();
+      auto S = std::make_unique<Stmt>(Stmt::Kind::If);
+      S->Line = Line;
+      expect(Token::Kind::LParen, "'('");
+      S->Cond = parseCondition();
+      expect(Token::Kind::RParen, "')'");
+      S->Then = parseBlock();
+      if (cur().TokKind == Token::Kind::Ident && cur().Text == "else") {
+        advance();
+        S->Else = parseBlock();
+      }
+      return S;
+    }
+    // while (...) {...} — lowered by unrollLoops before analysis.
+    if (cur().TokKind == Token::Kind::Ident && cur().Text == "while") {
+      advance();
+      auto S = std::make_unique<Stmt>(Stmt::Kind::While);
+      S->Line = Line;
+      expect(Token::Kind::LParen, "'('");
+      S->Cond = parseCondition();
+      expect(Token::Kind::RParen, "')'");
+      S->Then = parseBlock();
+      return S;
+    }
+    // echo expr;  — the output sink for cross-site scripting audits.
+    if (cur().TokKind == Token::Kind::Ident && cur().Text == "echo") {
+      advance();
+      auto S = std::make_unique<Stmt>(Stmt::Kind::Sink);
+      S->Line = Line;
+      S->Callee = "echo";
+      parseExpr(S->Arg);
+      expect(Token::Kind::Semi, "';'");
+      return S;
+    }
+    // return expr;
+    if (cur().TokKind == Token::Kind::Ident && cur().Text == "return") {
+      advance();
+      auto S = std::make_unique<Stmt>(Stmt::Kind::Return);
+      S->Line = Line;
+      parseExpr(S->Value);
+      expect(Token::Kind::Semi, "';'");
+      return S;
+    }
+    // exit;
+    if (cur().TokKind == Token::Kind::Ident &&
+        (cur().Text == "exit" || cur().Text == "die")) {
+      advance();
+      // Optional call-style exit("message").
+      if (cur().TokKind == Token::Kind::LParen) {
+        advance();
+        if (cur().TokKind == Token::Kind::String)
+          advance();
+        expect(Token::Kind::RParen, "')'");
+      }
+      expect(Token::Kind::Semi, "';'");
+      auto S = std::make_unique<Stmt>(Stmt::Kind::Exit);
+      S->Line = Line;
+      return S;
+    }
+    // Assignment: $x = expr;  or  $x = query(expr); / $x = call(args);
+    if (cur().TokKind == Token::Kind::Variable) {
+      if (isInputSuperglobal(cur())) {
+        fail("cannot assign to a superglobal");
+        return std::make_unique<Stmt>(Stmt::Kind::Exit);
+      }
+      std::string Target = cur().Text;
+      advance();
+      if (!expect(Token::Kind::Assign, "'='"))
+        return std::make_unique<Stmt>(Stmt::Kind::Exit);
+      // Call on the right-hand side?
+      if (cur().TokKind == Token::Kind::Ident &&
+          peekNext().TokKind == Token::Kind::LParen) {
+        StmtPtr Call = parseCallTail(Line);
+        // Keep the target: the inliner binds it to the callee's return
+        // value for user-defined functions; for opaque calls it stays
+        // untracked.
+        Call->Target = std::move(Target);
+        expect(Token::Kind::Semi, "';'");
+        return Call;
+      }
+      auto S = std::make_unique<Stmt>(Stmt::Kind::Assign);
+      S->Line = Line;
+      S->Target = std::move(Target);
+      parseExpr(S->Value);
+      expect(Token::Kind::Semi, "';'");
+      return S;
+    }
+    // Bare call: query(expr); unp_msgBox('...'); ...
+    if (cur().TokKind == Token::Kind::Ident &&
+        peekNext().TokKind == Token::Kind::LParen) {
+      StmtPtr Call = parseCallTail(Line);
+      expect(Token::Kind::Semi, "';'");
+      return Call;
+    }
+    fail("expected a statement");
+    return std::make_unique<Stmt>(Stmt::Kind::Exit);
+  }
+
+  /// Parses `ident ( args )` where the cursor is on the identifier.
+  /// query(...) becomes a Sink with its first argument; other callees
+  /// become opaque Call statements.
+  StmtPtr parseCallTail(unsigned Line) {
+    std::string Callee = cur().Text;
+    advance();
+    expect(Token::Kind::LParen, "'('");
+    bool IsSink = Callee == "query" || Callee == "mysql_query";
+    auto S = std::make_unique<Stmt>(IsSink ? Stmt::Kind::Sink
+                                           : Stmt::Kind::Call);
+    S->Line = Line;
+    S->Callee = std::move(Callee);
+    if (cur().TokKind != Token::Kind::RParen) {
+      StrExpr First;
+      parseExpr(First);
+      S->Arg = First;
+      S->CallArgs.push_back(std::move(First));
+      while (!Failed && cur().TokKind == Token::Kind::Comma) {
+        advance();
+        StrExpr Next;
+        parseExpr(Next);
+        S->CallArgs.push_back(std::move(Next));
+      }
+    }
+    expect(Token::Kind::RParen, "')'");
+    return S;
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string ErrorMsg;
+  unsigned ErrorLine = 0;
+};
+
+} // namespace
+
+ParseResult dprle::miniphp::parseProgram(const std::string &Source) {
+  return Parser(Source).run();
+}

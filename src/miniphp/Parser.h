@@ -1,0 +1,43 @@
+//===- Parser.h - Mini-PHP parser -------------------------------*- C++ -*-==//
+///
+/// \file
+/// Recursive-descent parser producing miniphp::Program. Accepts the
+/// fragment of paper Figure 1 verbatim:
+///
+/// \code
+///   $newsid = $_POST['posted_newsid'];
+///   if (!preg_match('/[\d]+$/', $newsid)) {
+///     unp_msgBox('Invalid article news ID.');
+///     exit;
+///   }
+///   $newsid = "nid_" . $newsid;
+///   $idnews = query("SELECT * FROM news WHERE newsid=" . $newsid);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_PARSER_H
+#define DPRLE_MINIPHP_PARSER_H
+
+#include "miniphp/Ast.h"
+
+#include <string>
+
+namespace dprle {
+namespace miniphp {
+
+/// Outcome of parsing a mini-PHP source file.
+struct ParseResult {
+  Program Prog;
+  bool Ok = false;
+  std::string Error;
+  unsigned ErrorLine = 0;
+};
+
+/// Parses \p Source. Never throws.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_PARSER_H

@@ -1,0 +1,330 @@
+//===- SymExec.cpp - Path-sensitive symbolic execution --------------------===//
+
+#include "miniphp/SymExec.h"
+#include "automata/NfaOps.h"
+#include "regex/RegexCompiler.h"
+#include "regex/RegexParser.h"
+#include "solver/Extensions.h"
+
+#include <cassert>
+#include <set>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+AttackSpec AttackSpec::sqlQuote() {
+  AttackSpec Spec;
+  Spec.AttackLanguage = searchLanguage("'");
+  Spec.SinkCallees = {"query", "mysql_query"};
+  return Spec;
+}
+
+AttackSpec AttackSpec::xssScriptTag() {
+  AttackSpec Spec;
+  Spec.AttackLanguage = searchLanguage("<script");
+  Spec.SinkCallees = {"echo"};
+  return Spec;
+}
+
+bool AttackSpec::appliesTo(const std::string &Callee) const {
+  if (SinkCallees.empty())
+    return true;
+  for (const std::string &Name : SinkCallees)
+    if (Name == Callee)
+      return true;
+  return false;
+}
+
+namespace {
+
+/// A symbolic string value: a concatenation of literals and RMA
+/// variables, plus the source lines that defined it (for path slices).
+struct SymValue {
+  std::vector<Term> Terms;
+  std::set<unsigned> Lines;
+};
+
+/// A branch condition already translated on this path, remembered for
+/// slice generation: which inputs it constrains and which lines define
+/// the values it checks.
+struct ConditionRecord {
+  std::set<VarId> Vars;
+  std::set<unsigned> Lines;
+};
+
+/// Per-path symbolic state.
+struct PathState {
+  BlockId Block = 0;
+  size_t StmtIndex = 0;                  // within the block
+  std::map<std::string, SymValue> Env;   // $var -> symbolic value
+  Problem Instance;
+  std::map<std::string, VarId> InputVariables;
+  std::vector<ConditionRecord> Conditions;
+};
+
+/// The input variables mentioned by a symbolic value.
+std::set<VarId> inputVarsOf(const SymValue &V) {
+  std::set<VarId> Out;
+  for (const Term &T : V.Terms)
+    if (T.isVariable())
+      Out.insert(T.Var);
+  return Out;
+}
+
+/// Negates a length comparison (complement within length space).
+LengthOp negateLengthOp(LengthOp Op) {
+  switch (Op) {
+  case LengthOp::Eq:
+    return LengthOp::Ne;
+  case LengthOp::Ne:
+    return LengthOp::Eq;
+  case LengthOp::Lt:
+    return LengthOp::Ge;
+  case LengthOp::Ge:
+    return LengthOp::Lt;
+  case LengthOp::Le:
+    return LengthOp::Gt;
+  case LengthOp::Gt:
+    return LengthOp::Le;
+  }
+  return Op;
+}
+
+/// The language of strings whose length satisfies `len OP N`.
+Nfa lengthLanguage(LengthOp Op, unsigned N) {
+  switch (Op) {
+  case LengthOp::Eq:
+    return lengthExactly(N);
+  case LengthOp::Ne:
+    return N == 0 ? lengthAtLeast(1)
+                  : unionOf({lengthAtMost(N - 1), lengthAtLeast(N + 1)});
+  case LengthOp::Lt:
+    return N == 0 ? Nfa::emptyLanguage() : lengthAtMost(N - 1);
+  case LengthOp::Le:
+    return lengthAtMost(N);
+  case LengthOp::Gt:
+    return lengthAtLeast(N + 1);
+  case LengthOp::Ge:
+    return lengthAtLeast(N);
+  }
+  return Nfa::emptyLanguage();
+}
+
+class Explorer {
+public:
+  Explorer(const Program &P, const Cfg &G, const AttackSpec &Attack,
+           const SymExecOptions &Opts)
+      : G(G), Attack(Attack), Opts(Opts) {
+    (void)P;
+  }
+
+  std::vector<PathCondition> run() {
+    PathState Init;
+    Init.Block = G.entry();
+    explore(std::move(Init));
+    return std::move(Results);
+  }
+
+private:
+  /// Symbolically evaluates \p E under \p State, interning input keys as
+  /// RMA variables on first use (two reads of $_POST['k'] see the same
+  /// value, hence the same variable).
+  SymValue eval(const StrExpr &E, PathState &State) {
+    SymValue Out;
+    for (const Atom &A : E) {
+      switch (A.AtomKind) {
+      case Atom::Kind::Literal:
+        Out.Terms.push_back(
+            State.Instance.constant(Nfa::literal(A.Text)));
+        break;
+      case Atom::Kind::Variable: {
+        auto It = State.Env.find(A.Text);
+        if (It == State.Env.end()) {
+          // Read of a variable never assigned on this path: PHP yields
+          // the empty string (plus a notice); model it as "".
+          Out.Terms.push_back(
+              State.Instance.constant(Nfa::literal("")));
+          break;
+        }
+        Out.Terms.insert(Out.Terms.end(), It->second.Terms.begin(),
+                         It->second.Terms.end());
+        Out.Lines.insert(It->second.Lines.begin(), It->second.Lines.end());
+        break;
+      }
+      case Atom::Kind::Input: {
+        std::string Key = A.Source + ":" + A.Text;
+        auto It = State.InputVariables.find(Key);
+        VarId V;
+        if (It == State.InputVariables.end()) {
+          V = State.Instance.addVariable(Key);
+          State.InputVariables.emplace(Key, V);
+        } else {
+          V = It->second;
+        }
+        Out.Terms.push_back(State.Instance.var(V));
+        break;
+      }
+      }
+    }
+    // An empty expression denotes the empty string.
+    if (Out.Terms.empty())
+      Out.Terms.push_back(State.Instance.constant(Nfa::literal("")));
+    return Out;
+  }
+
+  /// The language a condition constrains its operand to when the branch
+  /// outcome is \p Taken.
+  Nfa conditionLanguage(const Condition &Cond, bool Taken) {
+    bool WantMatch = Taken != Cond.Negated;
+    Nfa MatchLang;
+    if (Cond.CondKind == Condition::Kind::Substr) {
+      // PHP's substr($x, o, l) == 'lit': the window starting at offset o
+      // equals lit. When |lit| == l the rest of the string is free; when
+      // |lit| < l PHP must have run out of characters, so the string
+      // ends right after lit; |lit| > l can never match.
+      Nfa Match;
+      if (Cond.Literal.size() == Cond.SubLength)
+        Match = concat(concat(lengthExactly(Cond.SubOffset),
+                              Nfa::literal(Cond.Literal)),
+                       Nfa::sigmaStar());
+      else if (Cond.Literal.size() < Cond.SubLength)
+        Match = concat(lengthExactly(Cond.SubOffset),
+                       Nfa::literal(Cond.Literal));
+      else
+        Match = Nfa::emptyLanguage();
+      return WantMatch ? Match : complement(Match);
+    }
+    if (Cond.CondKind == Condition::Kind::Length) {
+      // Length complements are expressed directly by flipping the
+      // relational operator — no determinization needed.
+      LengthOp Op = WantMatch ? Cond.LenOp : negateLengthOp(Cond.LenOp);
+      return lengthLanguage(Op, Cond.LenBound);
+    }
+    if (Cond.CondKind == Condition::Kind::PregMatch) {
+      RegexParseResult R = parseRegex(Cond.Pattern);
+      if (!R.ok()) {
+        // An unparseable pattern kills the branch analysis; treat the
+        // condition as unconstraining (sound overapproximation for bug
+        // *finding*, noted in the analysis report).
+        return Nfa::sigmaStar();
+      }
+      MatchLang = searchLanguage(R);
+    } else {
+      MatchLang = Nfa::literal(Cond.Literal);
+    }
+    return WantMatch ? MatchLang : complement(MatchLang);
+  }
+
+  /// Appends the branch constraint for \p Cond (outcome \p Taken) to
+  /// \p State. Returns false if the constraint is trivially
+  /// unsatisfiable on constants (quick infeasibility pruning).
+  void addConditionConstraint(const Condition &Cond, bool Taken,
+                              unsigned Line, PathState &State) {
+    SymValue Operand = eval(Cond.Operand, State);
+    Nfa Lang = conditionLanguage(Cond, Taken);
+    ConditionRecord Record;
+    Record.Vars = inputVarsOf(Operand);
+    Record.Lines = Operand.Lines;
+    Record.Lines.insert(Line);
+    State.Conditions.push_back(std::move(Record));
+    State.Instance.addConstraint(Operand.Terms, std::move(Lang));
+  }
+
+  void explore(PathState State) {
+    if (Results.size() >= Opts.MaxPaths)
+      return;
+    const BasicBlock &Block = G.block(State.Block);
+    for (size_t I = State.StmtIndex; I != Block.Stmts.size(); ++I) {
+      const Stmt *S = Block.Stmts[I];
+      switch (S->StmtKind) {
+      case Stmt::Kind::Assign: {
+        SymValue V = eval(S->Value, State);
+        V.Lines.insert(S->Line);
+        State.Env[S->Target] = std::move(V);
+        break;
+      }
+      case Stmt::Kind::Sink: {
+        if (!Attack.appliesTo(S->Callee))
+          break; // Not a sink for this audit.
+        SymValue Query = eval(S->Arg, State);
+        PathCondition PC;
+        PC.Instance = State.Instance; // copy: path continues afterwards
+        PC.Instance.addConstraint(Query.Terms, Attack.AttackLanguage,
+                                  "attack");
+        PC.InputVariables = State.InputVariables;
+        // |C| counts every equation the symbolic executor emits: one
+        // subset constraint per condition/sink plus one concatenation
+        // equation per binary concat (dependency-graph temp). A
+        // constraint with T terms contributes 1 + (T-1) = T.
+        PC.NumConstraints = 0;
+        for (const Constraint &C : PC.Instance.constraints())
+          PC.NumConstraints += static_cast<unsigned>(C.Lhs.size());
+        PC.SinkLine = S->Line;
+        // Path slice (paper Section 2): the statements defining the sink
+        // value plus every check constraining an input that flows into
+        // it — "helping the developer locate potential causes".
+        PC.SliceLines = Query.Lines;
+        PC.SliceLines.insert(S->Line);
+        std::set<VarId> SinkVars = inputVarsOf(Query);
+        for (const ConditionRecord &Record : State.Conditions) {
+          bool Shares = false;
+          for (VarId V : Record.Vars)
+            Shares = Shares || SinkVars.count(V);
+          if (Shares)
+            PC.SliceLines.insert(Record.Lines.begin(),
+                                 Record.Lines.end());
+        }
+        Results.push_back(std::move(PC));
+        if (Opts.StopAtFirstSink || Results.size() >= Opts.MaxPaths)
+          return;
+        break;
+      }
+      case Stmt::Kind::Call:
+      case Stmt::Kind::Exit:
+      case Stmt::Kind::Return:
+        // Opaque call: no string effect. Exit: path ends (exit blocks
+        // have no successors, so falling out below is correct).
+        break;
+      case Stmt::Kind::If:
+      case Stmt::Kind::While:
+        assert(false && "If/While statements terminate blocks");
+        break;
+      }
+    }
+    if (Block.Terminator) {
+      const Condition &Cond = Block.Terminator->Cond;
+      // Succs[0] is the taken edge; the last successor is the not-taken
+      // edge (either the else head or the join block).
+      assert(Block.Succs.size() == 2 && "if block must have two succs");
+      for (unsigned Edge = 0; Edge != 2; ++Edge) {
+        PathState Next = State;
+        addConditionConstraint(Cond, /*Taken=*/Edge == 0,
+                               Block.Terminator->Line, Next);
+        Next.Block = Block.Succs[Edge];
+        Next.StmtIndex = 0;
+        explore(std::move(Next));
+      }
+      return;
+    }
+    for (BlockId Succ : Block.Succs) {
+      PathState Next = State;
+      Next.Block = Succ;
+      Next.StmtIndex = 0;
+      explore(std::move(Next));
+    }
+  }
+
+  const Cfg &G;
+  const AttackSpec &Attack;
+  const SymExecOptions &Opts;
+  std::vector<PathCondition> Results;
+};
+
+} // namespace
+
+std::vector<PathCondition>
+dprle::miniphp::enumerateSinkPaths(const Program &P, const Cfg &G,
+                                   const AttackSpec &Attack,
+                                   const SymExecOptions &Opts) {
+  return Explorer(P, G, Attack, Opts).run();
+}

@@ -1,0 +1,92 @@
+//===- SymExec.h - Path-sensitive symbolic execution ------------*- C++ -*-==//
+///
+/// \file
+/// The constraint generator of the paper's evaluation (Section 4): "a
+/// simple prototype program analysis that uses symbolic execution to set
+/// up a system of string variable constraints based on paths that lead to
+/// the defect". Each acyclic CFG path ending at a query() sink yields one
+/// RMA Problem:
+///
+///  * every distinct untrusted input key becomes an RMA variable;
+///  * a taken preg_match branch contributes `expr ⊆ search(pattern)`, a
+///    not-taken branch contributes `expr ⊆ ¬search(pattern)` (likewise for
+///    string equality against literals);
+///  * the sink contributes `queryExpr ⊆ attackLanguage`.
+///
+/// Solving the system either produces concrete exploit inputs (witness
+/// strings) or proves the path cannot reach the sink with an attack
+/// string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_SYMEXEC_H
+#define DPRLE_MINIPHP_SYMEXEC_H
+
+#include "miniphp/Ast.h"
+#include "miniphp/Cfg.h"
+#include "solver/Problem.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dprle {
+namespace miniphp {
+
+/// What counts as an attack at the sink.
+struct AttackSpec {
+  Nfa AttackLanguage;
+  /// Restrict to sinks whose callee matches (empty = every sink). SQL
+  /// audits look at query()/mysql_query(); XSS audits look at echo.
+  std::vector<std::string> SinkCallees;
+
+  /// The paper's running approximation: "the set of strings that contain
+  /// at least one quote — one common approximation for an unsafe SQL
+  /// query".
+  static AttackSpec sqlQuote();
+
+  /// Cross-site scripting (paper Section 2: "our decision procedure is
+  /// more widely applicable (e.g., to cross-site scripting or XML
+  /// generation)"): output containing a <script tag.
+  static AttackSpec xssScriptTag();
+
+  bool appliesTo(const std::string &Callee) const;
+};
+
+/// One path to a sink, already translated to an RMA instance.
+struct PathCondition {
+  /// The constraint system for this path (inputs are RMA variables).
+  Problem Instance;
+  /// Input key ("source:key") -> RMA variable.
+  std::map<std::string, VarId> InputVariables;
+  /// |C|: constraints generated along this path, including the sink
+  /// constraint (the paper's Figure 12 statistic).
+  unsigned NumConstraints = 0;
+  /// Source line of the sink this path reaches.
+  unsigned SinkLine = 0;
+  /// Path slice (paper Section 2): lines of the statements that define
+  /// the sink value plus the checks constraining inputs flowing into it.
+  std::set<unsigned> SliceLines;
+};
+
+/// Exploration limits.
+struct SymExecOptions {
+  /// Stop after this many sink-reaching paths.
+  size_t MaxPaths = 4096;
+  /// Stop exploring a path at its first sink (statements after the first
+  /// vulnerable query do not affect that query's inputs).
+  bool StopAtFirstSink = true;
+};
+
+/// Enumerates the acyclic paths of \p G (over \p P) that reach a sink and
+/// translates each into an RMA instance.
+std::vector<PathCondition> enumerateSinkPaths(const Program &P,
+                                              const Cfg &G,
+                                              const AttackSpec &Attack,
+                                              const SymExecOptions &Opts = {});
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_SYMEXEC_H

@@ -1,0 +1,78 @@
+//===- Unroll.cpp - Bounded loop unrolling ---------------------------------===//
+
+#include "miniphp/Unroll.h"
+
+#include <cassert>
+
+using namespace dprle::miniphp;
+
+StmtPtr dprle::miniphp::cloneStmt(const Stmt &S) {
+  auto Out = std::make_unique<Stmt>(S.StmtKind);
+  Out->Line = S.Line;
+  Out->Target = S.Target;
+  Out->Value = S.Value;
+  Out->Cond = S.Cond;
+  Out->Callee = S.Callee;
+  Out->Arg = S.Arg;
+  Out->CallArgs = S.CallArgs;
+  for (const StmtPtr &Child : S.Then)
+    Out->Then.push_back(cloneStmt(*Child));
+  for (const StmtPtr &Child : S.Else)
+    Out->Else.push_back(cloneStmt(*Child));
+  return Out;
+}
+
+namespace {
+
+std::vector<StmtPtr> unrollBody(const std::vector<StmtPtr> &Body,
+                                unsigned Bound);
+
+/// Builds the unrolled expansion of one While as a single If statement.
+StmtPtr unrollWhile(const Stmt &Loop, unsigned Remaining, unsigned Bound) {
+  auto If = std::make_unique<Stmt>(Stmt::Kind::If);
+  If->Line = Loop.Line;
+  If->Cond = Loop.Cond;
+  if (Remaining == 0) {
+    // Residual guard: a path still wanting to iterate is abandoned.
+    auto Exit = std::make_unique<Stmt>(Stmt::Kind::Exit);
+    Exit->Line = Loop.Line;
+    If->Then.push_back(std::move(Exit));
+    return If;
+  }
+  If->Then = unrollBody(Loop.Then, Bound);
+  If->Then.push_back(unrollWhile(Loop, Remaining - 1, Bound));
+  return If;
+}
+
+std::vector<StmtPtr> unrollBody(const std::vector<StmtPtr> &Body,
+                                unsigned Bound) {
+  std::vector<StmtPtr> Out;
+  for (const StmtPtr &S : Body) {
+    switch (S->StmtKind) {
+    case Stmt::Kind::While:
+      Out.push_back(unrollWhile(*S, Bound, Bound));
+      break;
+    case Stmt::Kind::If: {
+      auto If = std::make_unique<Stmt>(Stmt::Kind::If);
+      If->Line = S->Line;
+      If->Cond = S->Cond;
+      If->Then = unrollBody(S->Then, Bound);
+      If->Else = unrollBody(S->Else, Bound);
+      Out.push_back(std::move(If));
+      break;
+    }
+    default:
+      Out.push_back(cloneStmt(*S));
+      break;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+Program dprle::miniphp::unrollLoops(const Program &P, unsigned Bound) {
+  Program Out;
+  Out.Body = unrollBody(P.Body, Bound);
+  return Out;
+}

@@ -1,0 +1,38 @@
+//===- Unroll.h - Bounded loop unrolling ------------------------*- C++ -*-==//
+///
+/// \file
+/// The symbolic executor enumerates *acyclic* paths (as in the paper's
+/// prototype), so loops are lowered first by bounded unrolling:
+///
+/// \code
+///   while (C) B   ==>   if (C) { B; if (C) { B; ... if (C) { exit; }}}
+/// \endcode
+///
+/// with \p Bound copies of the body and a residual guard whose taken
+/// branch abandons the path. This is the standard bounded-model-checking
+/// treatment: any exploit found uses at most Bound iterations and is
+/// therefore real; paths needing more iterations are missed (documented
+/// under-approximation for bug *finding*).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_UNROLL_H
+#define DPRLE_MINIPHP_UNROLL_H
+
+#include "miniphp/Ast.h"
+
+namespace dprle {
+namespace miniphp {
+
+/// Deep-copies a statement tree.
+StmtPtr cloneStmt(const Stmt &S);
+
+/// Returns a copy of \p P with every While lowered into \p Bound nested
+/// Ifs plus a path-abandoning residual guard. The result contains no
+/// While statements.
+Program unrollLoops(const Program &P, unsigned Bound);
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_UNROLL_H

@@ -1,0 +1,138 @@
+//===- Matcher.cpp - Reference regex matcher ----------------------------------//
+
+#include "regex/Matcher.h"
+
+#include <set>
+#include <vector>
+
+using namespace dprle;
+
+namespace {
+
+/// Computes, for a node and a start offset, the set of end offsets of
+/// matches. Exponential blowup is avoided by returning *sets* of positions
+/// instead of enumerating derivations.
+class EndSets {
+public:
+  explicit EndSets(std::string_view Str) : Str(Str) {}
+
+  std::set<size_t> ends(const RegexNode &Node, size_t From) {
+    std::set<size_t> Out;
+    switch (Node.kind()) {
+    case RegexNode::Kind::Empty:
+      return Out;
+    case RegexNode::Kind::Epsilon:
+      Out.insert(From);
+      return Out;
+    case RegexNode::Kind::Literal: {
+      const std::string &Text = Node.text();
+      if (Str.compare(From, Text.size(), Text) == 0)
+        Out.insert(From + Text.size());
+      return Out;
+    }
+    case RegexNode::Kind::Class:
+      if (From < Str.size() &&
+          Node.charSet().contains(static_cast<unsigned char>(Str[From])))
+        Out.insert(From + 1);
+      return Out;
+    case RegexNode::Kind::Concat: {
+      std::set<size_t> Current = {From};
+      for (const RegexPtr &Child : Node.children()) {
+        std::set<size_t> Next;
+        for (size_t Mid : Current) {
+          std::set<size_t> ChildEnds = ends(*Child, Mid);
+          Next.insert(ChildEnds.begin(), ChildEnds.end());
+        }
+        Current = std::move(Next);
+        if (Current.empty())
+          break;
+      }
+      return Current;
+    }
+    case RegexNode::Kind::Alternate: {
+      for (const RegexPtr &Child : Node.children()) {
+        std::set<size_t> ChildEnds = ends(*Child, From);
+        Out.insert(ChildEnds.begin(), ChildEnds.end());
+      }
+      return Out;
+    }
+    case RegexNode::Kind::Intersect: {
+      Out = ends(*Node.children().front(), From);
+      for (size_t I = 1; I != Node.children().size() && !Out.empty(); ++I) {
+        std::set<size_t> ChildEnds = ends(*Node.children()[I], From);
+        std::set<size_t> Kept;
+        for (size_t E : Out)
+          if (ChildEnds.count(E))
+            Kept.insert(E);
+        Out = std::move(Kept);
+      }
+      return Out;
+    }
+    case RegexNode::Kind::Complement: {
+      // Every end position NOT matched by the child.
+      std::set<size_t> ChildEnds = ends(*Node.children().front(), From);
+      for (size_t E = From; E <= Str.size(); ++E)
+        if (!ChildEnds.count(E))
+          Out.insert(E);
+      return Out;
+    }
+    case RegexNode::Kind::Repeat: {
+      const RegexNode &Child = *Node.children().front();
+      int Min = Node.repeatMin();
+      int Max = Node.repeatMax();
+      auto Step = [&](const std::set<size_t> &Frontier) {
+        std::set<size_t> Next;
+        for (size_t Mid : Frontier) {
+          std::set<size_t> ChildEnds = ends(Child, Mid);
+          Next.insert(ChildEnds.begin(), ChildEnds.end());
+        }
+        return Next;
+      };
+      // Exactly Min repetitions first.
+      std::set<size_t> Frontier = {From};
+      for (int K = 0; K != Min && !Frontier.empty(); ++K)
+        Frontier = Step(Frontier);
+      if (Frontier.empty())
+        return Frontier;
+      std::set<size_t> Reached = Frontier;
+      if (Max == RepeatUnbounded) {
+        // Step is monotone and positions live in the finite set
+        // [0, |Str|], so iterating until the union stops growing reaches
+        // the fixpoint (and terminates after at most |Str|+1 growths).
+        while (true) {
+          Frontier = Step(Frontier);
+          size_t Before = Reached.size();
+          Reached.insert(Frontier.begin(), Frontier.end());
+          if (Reached.size() == Before)
+            break;
+        }
+      } else {
+        for (int K = Min; K != Max && !Frontier.empty(); ++K) {
+          Frontier = Step(Frontier);
+          Reached.insert(Frontier.begin(), Frontier.end());
+        }
+      }
+      return Reached;
+    }
+    }
+    return Out;
+  }
+
+private:
+  std::string_view Str;
+};
+
+} // namespace
+
+bool dprle::matchesWholeString(const RegexNode &Node, std::string_view Str) {
+  EndSets Engine(Str);
+  return Engine.ends(Node, 0).count(Str.size()) != 0;
+}
+
+bool dprle::matchesSomewhere(const RegexNode &Node, std::string_view Str) {
+  EndSets Engine(Str);
+  for (size_t From = 0; From <= Str.size(); ++From)
+    if (!Engine.ends(Node, From).empty())
+      return true;
+  return false;
+}

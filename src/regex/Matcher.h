@@ -1,0 +1,29 @@
+//===- Matcher.h - Reference regex matcher ----------------------*- C++ -*-==//
+///
+/// \file
+/// A direct AST-interpreting matcher, independent of the automata library.
+/// The property-based test suite uses it as the ground truth against which
+/// the Thompson compiler and the NFA simulation are validated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_REGEX_MATCHER_H
+#define DPRLE_REGEX_MATCHER_H
+
+#include "regex/RegexAst.h"
+
+#include <string_view>
+
+namespace dprle {
+
+/// True iff the whole of \p Str is in L(Node). Memoized backtracking;
+/// worst-case polynomial in |Str| * AST size per node kind.
+bool matchesWholeString(const RegexNode &Node, std::string_view Str);
+
+/// True iff some substring of \p Str is in L(Node) (preg_match-style
+/// unanchored search).
+bool matchesSomewhere(const RegexNode &Node, std::string_view Str);
+
+} // namespace dprle
+
+#endif // DPRLE_REGEX_MATCHER_H

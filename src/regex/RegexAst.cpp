@@ -1,0 +1,202 @@
+//===- RegexAst.cpp - Regular expression syntax trees ------------------------//
+
+#include "regex/RegexAst.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dprle;
+
+RegexPtr RegexNode::empty() {
+  return RegexPtr(new RegexNode(Kind::Empty));
+}
+
+RegexPtr RegexNode::epsilon() {
+  return RegexPtr(new RegexNode(Kind::Epsilon));
+}
+
+RegexPtr RegexNode::literal(std::string Text) {
+  if (Text.empty())
+    return epsilon();
+  RegexPtr Node(new RegexNode(Kind::Literal));
+  Node->Text = std::move(Text);
+  return Node;
+}
+
+RegexPtr RegexNode::charClass(const CharSet &Set) {
+  RegexPtr Node(new RegexNode(Kind::Class));
+  Node->Set = Set;
+  return Node;
+}
+
+RegexPtr RegexNode::concat(std::vector<RegexPtr> Children) {
+  if (Children.empty())
+    return epsilon();
+  if (Children.size() == 1)
+    return std::move(Children.front());
+  RegexPtr Node(new RegexNode(Kind::Concat));
+  Node->Children = std::move(Children);
+  return Node;
+}
+
+RegexPtr RegexNode::alternate(std::vector<RegexPtr> Children) {
+  if (Children.empty())
+    return empty();
+  if (Children.size() == 1)
+    return std::move(Children.front());
+  RegexPtr Node(new RegexNode(Kind::Alternate));
+  Node->Children = std::move(Children);
+  return Node;
+}
+
+RegexPtr RegexNode::intersect(std::vector<RegexPtr> Children) {
+  if (Children.empty())
+    return complement(empty()); // The empty intersection is Sigma-star.
+  if (Children.size() == 1)
+    return std::move(Children.front());
+  RegexPtr Node(new RegexNode(Kind::Intersect));
+  Node->Children = std::move(Children);
+  return Node;
+}
+
+RegexPtr RegexNode::complement(RegexPtr Child) {
+  RegexPtr Node(new RegexNode(Kind::Complement));
+  Node->Children.push_back(std::move(Child));
+  return Node;
+}
+
+RegexPtr RegexNode::repeat(RegexPtr Child, int Min, int Max) {
+  assert(Min >= 0 && "negative repetition bound");
+  assert((Max == RepeatUnbounded || Max >= Min) && "bad repetition bounds");
+  RegexPtr Node(new RegexNode(Kind::Repeat));
+  Node->Children.push_back(std::move(Child));
+  Node->Min = Min;
+  Node->Max = Max;
+  return Node;
+}
+
+RegexPtr RegexNode::clone(const RegexNode &Node) {
+  switch (Node.kind()) {
+  case Kind::Empty:
+    return empty();
+  case Kind::Epsilon:
+    return epsilon();
+  case Kind::Literal:
+    return literal(Node.Text);
+  case Kind::Class:
+    return charClass(Node.Set);
+  case Kind::Concat:
+  case Kind::Alternate:
+  case Kind::Intersect: {
+    std::vector<RegexPtr> Kids;
+    Kids.reserve(Node.Children.size());
+    for (const RegexPtr &Child : Node.Children)
+      Kids.push_back(clone(*Child));
+    if (Node.kind() == Kind::Concat)
+      return concat(std::move(Kids));
+    if (Node.kind() == Kind::Alternate)
+      return alternate(std::move(Kids));
+    return intersect(std::move(Kids));
+  }
+  case Kind::Repeat:
+    return repeat(clone(*Node.Children.front()), Node.Min, Node.Max);
+  case Kind::Complement:
+    return complement(clone(*Node.Children.front()));
+  }
+  assert(false && "unknown regex node kind");
+  return empty();
+}
+
+std::string RegexNode::str() const {
+  std::string Out;
+  print(Out, 0);
+  return Out;
+}
+
+void RegexNode::print(std::string &Out, int ParentPrec) const {
+  auto Group = [&](int MyPrec, auto Body) {
+    bool Paren = MyPrec < ParentPrec;
+    if (Paren)
+      Out += '(';
+    Body();
+    if (Paren)
+      Out += ')';
+  };
+  // Precedence levels: 0 alternation, 1 intersection, 2 concatenation,
+  // 3 repetition/complement, 4 self-delimiting atom.
+  switch (TheKind) {
+  case Kind::Empty:
+    // The empty character class denotes the empty language in this dialect.
+    Out += "[]";
+    return;
+  case Kind::Epsilon:
+    Out += "()";
+    return;
+  case Kind::Literal:
+    Group(Text.size() == 1 ? 4 : 2,
+          [&] { Out += escapeString(Text); });
+    return;
+  case Kind::Class:
+    Out += Set.str();
+    return;
+  case Kind::Concat:
+    Group(2, [&] {
+      for (const RegexPtr &Child : Children)
+        Child->print(Out, 2);
+    });
+    return;
+  case Kind::Alternate:
+    Group(0, [&] {
+      for (size_t I = 0; I != Children.size(); ++I) {
+        if (I)
+          Out += '|';
+        Children[I]->print(Out, 1);
+      }
+    });
+    return;
+  case Kind::Intersect:
+    Group(1, [&] {
+      for (size_t I = 0; I != Children.size(); ++I) {
+        if (I)
+          Out += '&';
+        Children[I]->print(Out, 2);
+      }
+    });
+    return;
+  case Kind::Complement: {
+    bool Paren = 3 < ParentPrec;
+    if (Paren)
+      Out += '(';
+    Out += '~';
+    Children.front()->print(Out, 3);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case Kind::Repeat: {
+    bool Paren = 3 < ParentPrec;
+    if (Paren)
+      Out += '(';
+    Children.front()->print(Out, 4);
+    if (Min == 0 && Max == RepeatUnbounded) {
+      Out += '*';
+    } else if (Min == 1 && Max == RepeatUnbounded) {
+      Out += '+';
+    } else if (Min == 0 && Max == 1) {
+      Out += '?';
+    } else {
+      Out += '{';
+      Out += std::to_string(Min);
+      if (Max != Min) {
+        Out += ',';
+        if (Max != RepeatUnbounded)
+          Out += std::to_string(Max);
+      }
+      Out += '}';
+    }
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  }
+}

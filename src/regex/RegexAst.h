@@ -1,0 +1,101 @@
+//===- RegexAst.h - Regular expression syntax trees -------------*- C++ -*-==//
+//
+// Part of dprle-cpp, a reproduction of Hooimeijer & Weimer, "A Decision
+// Procedure for Subset Constraints over Regular Languages" (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The regex abstract syntax produced by RegexParser and consumed by the
+/// Thompson compiler (RegexCompiler) and the reference matcher (Matcher).
+///
+/// Dialect notes: '.' matches ANY byte (DOTALL semantics) — the paper's
+/// attack languages such as Sigma*'Sigma* are written ".*'.*". Anchors
+/// (^/$) are not part of the AST; the parser reports them as flags so
+/// clients can implement preg_match-style unanchored search (Section 2 of
+/// the paper discusses exactly such a missing-^ filter bug).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_REGEX_REGEXAST_H
+#define DPRLE_REGEX_REGEXAST_H
+
+#include "support/CharSet.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dprle {
+
+class RegexNode;
+using RegexPtr = std::unique_ptr<RegexNode>;
+
+/// Upper bound sentinel for unbounded repetition ({n,} and friends).
+constexpr int RepeatUnbounded = -1;
+
+/// One node of a regex syntax tree.
+class RegexNode {
+public:
+  enum class Kind {
+    Empty,      ///< Matches nothing (the empty language).
+    Epsilon,    ///< Matches only the empty string.
+    Literal,    ///< Matches exactly Text.
+    Class,      ///< Matches one symbol drawn from Set.
+    Concat,     ///< Matches the concatenation of Children.
+    Alternate,  ///< Matches any one of Children.
+    Repeat,     ///< Matches Children[0] repeated Min..Max times.
+    Intersect,  ///< Matches all of Children (extended syntax: a&b).
+    Complement  ///< Matches what Children[0] does not (extended: ~a).
+  };
+
+  Kind kind() const { return TheKind; }
+
+  /// Literal text (Kind::Literal).
+  const std::string &text() const { return Text; }
+  /// Symbol class (Kind::Class).
+  const CharSet &charSet() const { return Set; }
+  /// Sub-expressions (Concat, Alternate, Repeat).
+  const std::vector<RegexPtr> &children() const { return Children; }
+  /// Repetition bounds (Kind::Repeat); Max may be RepeatUnbounded.
+  int repeatMin() const { return Min; }
+  int repeatMax() const { return Max; }
+
+  /// \name Factories
+  /// @{
+  static RegexPtr empty();
+  static RegexPtr epsilon();
+  static RegexPtr literal(std::string Text);
+  static RegexPtr charClass(const CharSet &Set);
+  static RegexPtr concat(std::vector<RegexPtr> Children);
+  static RegexPtr alternate(std::vector<RegexPtr> Children);
+  static RegexPtr repeat(RegexPtr Child, int Min, int Max);
+  /// Extended operators (see RegexParser.h's parseRegexExtended).
+  static RegexPtr intersect(std::vector<RegexPtr> Children);
+  static RegexPtr complement(RegexPtr Child);
+  /// Deep copy.
+  static RegexPtr clone(const RegexNode &Node);
+  /// @}
+
+  /// Unparses into concrete syntax accepted by RegexParser.
+  std::string str() const;
+
+private:
+  explicit RegexNode(Kind K) : TheKind(K) {}
+
+  /// Appends this node's syntax to \p Out; parenthesizes when this node
+  /// binds looser than \p ParentPrec (0=alternation, 1=intersection,
+  /// 2=concatenation, 3=repetition/complement, 4=atom).
+  void print(std::string &Out, int ParentPrec) const;
+
+  Kind TheKind;
+  std::string Text;
+  CharSet Set;
+  std::vector<RegexPtr> Children;
+  int Min = 0;
+  int Max = 0;
+};
+
+} // namespace dprle
+
+#endif // DPRLE_REGEX_REGEXAST_H

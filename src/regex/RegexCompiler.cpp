@@ -1,0 +1,86 @@
+//===- RegexCompiler.cpp - Thompson construction ------------------------------//
+
+#include "regex/RegexCompiler.h"
+#include "automata/NfaOps.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dprle;
+
+Nfa dprle::compileRegex(const RegexNode &Node) {
+  switch (Node.kind()) {
+  case RegexNode::Kind::Empty:
+    return Nfa::emptyLanguage().withSingleAccepting();
+  case RegexNode::Kind::Epsilon:
+    return Nfa::epsilonLanguage();
+  case RegexNode::Kind::Literal:
+    return Nfa::literal(Node.text());
+  case RegexNode::Kind::Class:
+    return Nfa::fromCharSet(Node.charSet());
+  case RegexNode::Kind::Concat: {
+    Nfa Out = Nfa::epsilonLanguage();
+    for (const RegexPtr &Child : Node.children())
+      Out = concat(Out, compileRegex(*Child));
+    return Out.withSingleAccepting();
+  }
+  case RegexNode::Kind::Alternate: {
+    Nfa Out = compileRegex(*Node.children().front());
+    for (size_t I = 1; I != Node.children().size(); ++I)
+      Out = alternate(Out, compileRegex(*Node.children()[I]));
+    return Out.withSingleAccepting();
+  }
+  case RegexNode::Kind::Intersect: {
+    Nfa Out = compileRegex(*Node.children().front());
+    for (size_t I = 1; I != Node.children().size(); ++I)
+      Out = intersect(Out, compileRegex(*Node.children()[I])).trimmed();
+    return Out.withSingleAccepting();
+  }
+  case RegexNode::Kind::Complement:
+    return complement(compileRegex(*Node.children().front()))
+        .withSingleAccepting();
+  case RegexNode::Kind::Repeat: {
+    const RegexNode &Child = *Node.children().front();
+    int Min = Node.repeatMin();
+    int Max = Node.repeatMax();
+    Nfa ChildM = compileRegex(Child);
+    Nfa Out = Nfa::epsilonLanguage();
+    for (int I = 0; I != Min; ++I)
+      Out = concat(Out, ChildM);
+    if (Max == RepeatUnbounded) {
+      Out = concat(Out, star(ChildM));
+    } else {
+      for (int I = Min; I != Max; ++I)
+        Out = concat(Out, optional(ChildM));
+    }
+    return Out.withSingleAccepting();
+  }
+  }
+  assert(false && "unknown regex node kind");
+  return Nfa::emptyLanguage();
+}
+
+Nfa dprle::regexLanguage(const std::string &Pattern) {
+  RegexPtr Ast = parseRegexOrDie(Pattern);
+  return compileRegex(*Ast);
+}
+
+Nfa dprle::searchLanguage(const RegexParseResult &Parsed) {
+  assert(Parsed.ok() && "searchLanguage on failed parse");
+  Nfa Core = compileRegex(*Parsed.Ast);
+  Nfa Out = Parsed.AnchoredStart ? Core : concat(Nfa::sigmaStar(), Core);
+  if (!Parsed.AnchoredEnd)
+    Out = concat(Out, Nfa::sigmaStar());
+  return Out.withSingleAccepting();
+}
+
+Nfa dprle::searchLanguage(const std::string &Pattern) {
+  RegexParseResult Parsed = parseRegex(Pattern);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "regex parse error in \"%s\" at %zu: %s\n",
+                 Pattern.c_str(), Parsed.ErrorPos, Parsed.Error.c_str());
+    std::abort();
+  }
+  return searchLanguage(Parsed);
+}

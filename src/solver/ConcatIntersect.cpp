@@ -1,0 +1,57 @@
+//===- ConcatIntersect.cpp - The CI algorithm ----------------------------------//
+
+#include "solver/ConcatIntersect.h"
+#include "automata/NfaOps.h"
+#include "automata/OpStats.h"
+
+#include <cassert>
+
+using namespace dprle;
+
+std::vector<CiAssignment> dprle::concatIntersect(const Nfa &C1, const Nfa &C2,
+                                                 const Nfa &C3,
+                                                 size_t MaxSolutions,
+                                                 CiDiagnostics *Diags) {
+  // Paper Figure 3, lines 5-8: construct the intermediate automata. The
+  // single epsilon transition introduced by the concatenation is marked so
+  // its surviving copies can be recovered from the product machine; this
+  // realizes the paper's Qlhs x Qrhs bookkeeping (lines 10-12) without
+  // tracking state provenance explicitly.
+  constexpr EpsilonMarker Marker = 0;
+  // Normalize the constants to epsilon-free machines with single accepting
+  // states, matching the paper's machine drawings; without this, Thompson
+  // construction's structural epsilon transitions would duplicate marker
+  // instances in the product and inflate the candidate count.
+  Nfa M1 = C1.withoutEpsilonTransitions().withSingleAccepting();
+  Nfa M2 = C2.withoutEpsilonTransitions().withSingleAccepting();
+  Nfa M3 = C3.withoutEpsilonTransitions().withSingleAccepting();
+  Nfa M4 = concat(M1, M2, Marker);
+  Nfa M5 = intersect(M4, M3);
+  // Trimming keeps only marked instances that lie on an accepting path,
+  // exactly the pairs (qa, qb) with qb in delta5(qa, eps) that can yield
+  // non-empty assignments.
+  Nfa M5Trim = M5.trimmed();
+
+  std::vector<EpsilonInstance> Instances = M5Trim.markerInstances(Marker);
+  if (Diags) {
+    Diags->M4 = M4;
+    Diags->M5 = M5Trim;
+    Diags->CandidatePairs = Instances.size();
+  }
+
+  // Lines 12-15: one candidate assignment per epsilon instance.
+  std::vector<CiAssignment> Out;
+  for (const EpsilonInstance &Inst : Instances) {
+    if (Out.size() >= MaxSolutions)
+      break;
+    OpStats::global().InduceStatesVisited += 2 * M5Trim.numStates();
+    Nfa V1 = M5Trim.inducedFromFinal(Inst.From).trimmed();
+    Nfa V2 = M5Trim.inducedFromStart(Inst.To).trimmed();
+    // "If either M1' or M2' describe the empty language, we reject that
+    // assignment."
+    if (V1.languageIsEmpty() || V2.languageIsEmpty())
+      continue;
+    Out.push_back({V1.withoutMarkers(), V2.withoutMarkers()});
+  }
+  return Out;
+}

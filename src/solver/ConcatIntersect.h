@@ -1,0 +1,58 @@
+//===- ConcatIntersect.h - The CI algorithm ---------------------*- C++ -*-==//
+///
+/// \file
+/// The Concatenation-Intersection algorithm of paper Figure 3: given
+/// regular languages c1, c2, c3, solve
+///
+///     v1 ⊆ c1,  v2 ⊆ c2,  v1 . v2 ⊆ c3
+///
+/// by constructing M5 = (M1 . M2) ∩ M3 with a marked epsilon transition for
+/// the concatenation, then slicing M5 at each surviving marked instance
+/// into one disjunctive assignment pair (induce_from_final /
+/// induce_from_start). Correctness properties (Regular, Satisfying, All
+/// Solutions — paper Section 3.3) are validated by the test suite via
+/// decidable inclusion checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SOLVER_CONCATINTERSECT_H
+#define DPRLE_SOLVER_CONCATINTERSECT_H
+
+#include "automata/Nfa.h"
+
+#include <vector>
+
+namespace dprle {
+
+/// One disjunctive solution of a CI instance.
+struct CiAssignment {
+  Nfa V1;
+  Nfa V2;
+};
+
+/// Diagnostics describing one concat_intersect run; consumed by the
+/// scaling benchmarks (paper Section 3.5).
+struct CiDiagnostics {
+  /// The intermediate machine l4 = c1 . c2 (paper Figure 3 line 6).
+  Nfa M4;
+  /// The intermediate machine l5 = l4 ∩ c3 (lines 7-8), trimmed.
+  Nfa M5;
+  /// Number of surviving marked epsilon instances (candidate solutions).
+  size_t CandidatePairs = 0;
+};
+
+/// Runs concat_intersect(c1, c2, c3) and returns every non-empty
+/// disjunctive assignment. Assignments whose v1 or v2 denotes the empty
+/// language are rejected, as in the paper.
+///
+/// \param MaxSolutions stop after this many assignments (the paper notes
+/// the first solution can be produced without enumerating the rest).
+/// \param Diags optional diagnostics out-param.
+std::vector<CiAssignment>
+concatIntersect(const Nfa &C1, const Nfa &C2, const Nfa &C3,
+                size_t MaxSolutions = SIZE_MAX,
+                CiDiagnostics *Diags = nullptr);
+
+} // namespace dprle
+
+#endif // DPRLE_SOLVER_CONCATINTERSECT_H

@@ -1,0 +1,52 @@
+//===- Extensions.cpp - RMA extensions from paper Section 3.1.2 -----------===//
+
+#include "solver/Extensions.h"
+#include "automata/NfaOps.h"
+
+#include <cassert>
+
+using namespace dprle;
+
+Nfa dprle::lengthWindow(size_t Min, size_t Max) {
+  assert((Max == LengthUnbounded || Max >= Min) && "bad length window");
+  Nfa M;
+  StateId Prev = M.start();
+  if (Min == 0)
+    M.setAccepting(Prev);
+  size_t ChainLen = Max == LengthUnbounded ? Min : Max;
+  for (size_t I = 1; I <= ChainLen; ++I) {
+    StateId Next = M.addState();
+    M.addTransition(Prev, CharSet::all(), Next);
+    if (I >= Min)
+      M.setAccepting(Next);
+    Prev = Next;
+  }
+  if (Max == LengthUnbounded) {
+    // Sigma self-loop on the last state accepts everything longer.
+    M.addTransition(Prev, CharSet::all(), Prev);
+    M.setAccepting(Prev);
+  }
+  return M;
+}
+
+Nfa dprle::lengthExactly(size_t N) { return lengthWindow(N, N); }
+
+Nfa dprle::lengthAtLeast(size_t N) {
+  return lengthWindow(N, LengthUnbounded);
+}
+
+Nfa dprle::lengthAtMost(size_t N) { return lengthWindow(0, N); }
+
+Nfa dprle::unionOf(const std::vector<Nfa> &Languages) {
+  if (Languages.empty())
+    return Nfa::emptyLanguage();
+  Nfa Out = Languages.front();
+  for (size_t I = 1; I != Languages.size(); ++I)
+    Out = alternate(Out, Languages[I]);
+  return Out;
+}
+
+Nfa dprle::substringAt(const Nfa &M, size_t Offset, size_t Length) {
+  Nfa Window = intersect(M, lengthExactly(Length)).trimmed();
+  return concat(concat(lengthExactly(Offset), Window), Nfa::sigmaStar());
+}

@@ -1,0 +1,60 @@
+//===- Extensions.h - RMA extensions from paper Section 3.1.2 ---*- C++ -*-==//
+///
+/// \file
+/// The paper notes (Section 3.1.2) that RMA "can be readily extended to
+/// support additional operations, such as union or substring indexing.
+/// For example, substring indexing might be used to restrict the language
+/// of a variable to strings of a specified length n (to model length
+/// checks in code). This could be implemented using basic operations on
+/// nondeterministic finite state automata that are similar to the ones
+/// already implemented."
+///
+/// This header provides exactly those constraint-language builders:
+/// length windows (for `strlen` checks — see miniphp's support for
+/// `strlen($x) == n` conditions), unions of constraint languages, and
+/// substring extraction windows. Everything stays within regular
+/// languages, so decidability is preserved; features that would make RMA
+/// undecidable (general word equations, replace) are deliberately out of
+/// scope, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SOLVER_EXTENSIONS_H
+#define DPRLE_SOLVER_EXTENSIONS_H
+
+#include "automata/Nfa.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace dprle {
+
+/// Sentinel for an unbounded maximum length.
+constexpr size_t LengthUnbounded = static_cast<size_t>(-1);
+
+/// The language of strings whose length lies in [Min, Max] (Max may be
+/// LengthUnbounded). The machine is a deterministic chain, so it composes
+/// flatly under products even when repeated.
+Nfa lengthWindow(size_t Min, size_t Max);
+
+/// Strings of exactly \p N symbols.
+Nfa lengthExactly(size_t N);
+
+/// Strings of at least / at most \p N symbols.
+Nfa lengthAtLeast(size_t N);
+Nfa lengthAtMost(size_t N);
+
+/// The union of several constraint languages — the paper's "union"
+/// extension. `e ⊆ c1 ∪ c2` is expressed as one subset constraint whose
+/// RHS is this union.
+Nfa unionOf(const std::vector<Nfa> &Languages);
+
+/// The language of strings some substring of which starting at offset
+/// \p Offset and of length \p Length lies in L(M) — "substring indexing":
+/// Sigma^Offset . (M ∩ Sigma^Length) . Sigma*. Models checks like
+/// `substr($x, o, l) == "lit"` on the true branch.
+Nfa substringAt(const Nfa &M, size_t Offset, size_t Length);
+
+} // namespace dprle
+
+#endif // DPRLE_SOLVER_EXTENSIONS_H

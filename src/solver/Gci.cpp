@@ -1,0 +1,398 @@
+//===- Gci.cpp - Generalized concat-intersect ----------------------------------//
+
+#include "solver/Gci.h"
+#include "automata/NfaOps.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace dprle;
+
+namespace {
+
+/// Per-run state of the gci procedure.
+class GciRun {
+public:
+  GciRun(const DependencyGraph &G, const std::vector<NodeId> &Group,
+         const GciOptions &Opts, const std::map<NodeId, Nfa> *BaseLanguage)
+      : G(G), Group(Group), Opts(Opts), BaseLanguage(BaseLanguage) {}
+
+  GciResult run();
+
+private:
+  void processNode(NodeId N);
+  void updateTracking(NodeId Operand, bool IsLeft, NodeId NewRoot,
+                      EpsilonMarker Marker);
+  void enumerateSolutions();
+  Nfa induceSegment(const Segment &S,
+                    const std::map<std::pair<NodeId, EpsilonMarker>,
+                                   EpsilonInstance> &Choice) const;
+
+  /// One flattened constraint of the group: the term sequence of a root's
+  /// expression tree plus the conjunction of the root's RHS constants.
+  struct FlatConstraint {
+    std::vector<NodeId> Terms;
+    Nfa Constraint;
+    Nfa NotConstraint; ///< Complement, precomputed for quotient widening.
+  };
+
+  /// The current language of a term under \p Candidate.
+  const Nfa &termLanguage(NodeId Term,
+                          const std::map<NodeId, Nfa> &Candidate) const {
+    if (G.kind(Term) == NodeKind::Constant)
+      return G.constantLanguage(Term);
+    return Candidate.at(Term);
+  }
+
+  void buildFlatConstraints(const std::vector<NodeId> &Roots);
+  void maximizeCandidate(std::map<NodeId, Nfa> &Candidate,
+                         const std::vector<NodeId> &Vars) const;
+
+  const DependencyGraph &G;
+  const std::vector<NodeId> &Group;
+  const GciOptions &Opts;
+  const std::map<NodeId, Nfa> *BaseLanguage;
+
+  std::map<NodeId, Nfa> Machine;
+  std::map<NodeId, std::vector<Segment>> Solution;
+  std::vector<FlatConstraint> FlatConstraints;
+  EpsilonMarker NextMarker = 1;
+  GciResult Result;
+};
+
+void GciRun::buildFlatConstraints(const std::vector<NodeId> &Roots) {
+  for (NodeId R : Roots) {
+    std::vector<NodeId> Constants = G.subsetConstraintsOn(R);
+    if (Constants.empty())
+      continue; // Unconstrained concatenation restricts nothing.
+    FlatConstraint FC;
+    // Flatten the expression tree into its leaf sequence.
+    std::function<void(NodeId)> Flatten = [&](NodeId N) {
+      if (G.kind(N) == NodeKind::Temp) {
+        const ConcatEdge *E = G.concatProducing(N);
+        assert(E && "Temp without producing concat");
+        Flatten(E->Lhs);
+        Flatten(E->Rhs);
+        return;
+      }
+      FC.Terms.push_back(N);
+    };
+    Flatten(R);
+    FC.Constraint = G.constantLanguage(Constants.front());
+    for (size_t I = 1; I != Constants.size(); ++I)
+      FC.Constraint =
+          intersect(FC.Constraint, G.constantLanguage(Constants[I]))
+              .trimmed();
+    FC.NotConstraint = complement(FC.Constraint);
+    FlatConstraints.push_back(std::move(FC));
+  }
+}
+
+void GciRun::maximizeCandidate(std::map<NodeId, Nfa> &Candidate,
+                               const std::vector<NodeId> &Vars) const {
+  // One left-to-right pass reaches a fixpoint: a variable maximized at
+  // step i stays maximal when later variables grow, because growing the
+  // context only shrinks the allowed set — so anything addable at the end
+  // was already addable (and added) at step i.
+  for (NodeId V : Vars) {
+    // Start from the variable's leaf machine (Sigma-star intersected with
+    // its direct subset constraints).
+    Nfa Allowed = Machine.at(V);
+    bool OccursTwiceSomewhere = false;
+    for (const FlatConstraint &FC : FlatConstraints) {
+      unsigned Occurrences = 0;
+      for (size_t K = 0; K != FC.Terms.size(); ++K) {
+        if (FC.Terms[K] != V)
+          continue;
+        ++Occurrences;
+        Nfa Prefix = Nfa::epsilonLanguage();
+        for (size_t I = 0; I != K; ++I)
+          Prefix = concat(Prefix, termLanguage(FC.Terms[I], Candidate));
+        Nfa Suffix = Nfa::epsilonLanguage();
+        for (size_t I = K + 1; I != FC.Terms.size(); ++I)
+          Suffix = concat(Suffix, termLanguage(FC.Terms[I], Candidate));
+        // {w : Prefix.w.Suffix ⊆ C} = ¬ lq(Prefix, rq(¬C, Suffix)).
+        Nfa Bad =
+            leftQuotient(Prefix, rightQuotient(FC.NotConstraint, Suffix));
+        Allowed = intersect(Allowed, complement(Bad)).trimmed();
+      }
+      OccursTwiceSomewhere = OccursTwiceSomewhere || Occurrences > 1;
+    }
+    Nfa Old = std::move(Candidate.at(V));
+    Candidate.at(V) = Allowed.withoutMarkers();
+    if (!OccursTwiceSomewhere)
+      continue;
+    // With several occurrences in one constraint, per-occurrence widening
+    // ignores cross terms (w1.w2 for two *new* strings); verify and fall
+    // back to the unwidened language if the joint extension overshoots.
+    for (const FlatConstraint &FC : FlatConstraints) {
+      Nfa Whole = Nfa::epsilonLanguage();
+      for (NodeId T : FC.Terms)
+        Whole = concat(Whole, termLanguage(T, Candidate));
+      if (!isSubsetOf(Whole, FC.Constraint)) {
+        Candidate.at(V) = std::move(Old);
+        break;
+      }
+    }
+  }
+}
+
+void GciRun::updateTracking(NodeId Operand, bool IsLeft, NodeId NewRoot,
+                            EpsilonMarker Marker) {
+  // Paper Figure 8, lines 8-11: nodes previously influenced by Operand (a
+  // Temp that was a root until now) become influenced by NewRoot. A
+  // boundary that used to mean "the machine's own start/accepting" now
+  // means "the fresh concatenation marker".
+  for (auto &[Node, Segments] : Solution) {
+    (void)Node;
+    for (Segment &S : Segments) {
+      if (S.Root != Operand)
+        continue;
+      S.Root = NewRoot;
+      if (IsLeft) {
+        if (S.RightMarker == NoMarker)
+          S.RightMarker = Marker;
+      } else {
+        if (S.LeftMarker == NoMarker)
+          S.LeftMarker = Marker;
+      }
+    }
+  }
+  // The operand itself is now influenced by NewRoot (constants excepted:
+  // no solution is reported for them).
+  if (G.kind(Operand) == NodeKind::Constant)
+    return;
+  Segment S;
+  S.Root = NewRoot;
+  if (IsLeft)
+    S.RightMarker = Marker;
+  else
+    S.LeftMarker = Marker;
+  Solution[Operand].push_back(S);
+}
+
+void GciRun::processNode(NodeId N) {
+  Nfa M;
+  switch (G.kind(N)) {
+  case NodeKind::Constant:
+    M = G.constantLanguage(N);
+    break;
+  case NodeKind::Variable: {
+    // Unconstrained variables start at Sigma-star (paper Section 3.4.2:
+    // "the initial node-to-NFA mapping returns Sigma-star for vertices
+    // that represent a variable").
+    M = Nfa::sigmaStar();
+    if (BaseLanguage) {
+      auto It = BaseLanguage->find(N);
+      if (It != BaseLanguage->end())
+        M = It->second.withSingleAccepting();
+    }
+    break;
+  }
+  case NodeKind::Temp: {
+    const ConcatEdge *E = G.concatProducing(N);
+    assert(E && "Temp node without producing concat");
+    EpsilonMarker Marker = NextMarker++;
+    // Both operands were processed earlier (topological order), so their
+    // inbound subset constraints are already folded in: invariant 1.
+    M = concat(Machine.at(E->Lhs), Machine.at(E->Rhs), Marker);
+    ++Result.ConcatsBuilt;
+    updateTracking(E->Lhs, /*IsLeft=*/true, N, Marker);
+    updateTracking(E->Rhs, /*IsLeft=*/false, N, Marker);
+    break;
+  }
+  }
+
+  // handle_inbound_subset_constraints (Figure 8 line 5): intersect with
+  // every constraining constant before this node is concatenated anywhere.
+  for (NodeId C : G.subsetConstraintsOn(N)) {
+    M = intersect(M, G.constantLanguage(C)).trimmed();
+    ++Result.SubsetIntersections;
+  }
+
+  // Optional minimization of marker-free machines (ablation E9). Machines
+  // carrying markers cannot be DFA-minimized without losing the marker
+  // structure, so only leaves benefit — which is where the paper's
+  // "secure" pathology (huge tracked string constants) lives.
+  if (Opts.MinimizeIntermediates && M.markersUsed().empty())
+    M = minimized(M).withSingleAccepting();
+
+  Machine[N] = M.trimmed();
+  DPRLE_DEBUG_LOG("gci", Os << "node " << G.name(N) << " machine has "
+                            << Machine[N].numStates() << " states");
+}
+
+Nfa GciRun::induceSegment(
+    const Segment &S, const std::map<std::pair<NodeId, EpsilonMarker>,
+                                     EpsilonInstance> &Choice) const {
+  const Nfa &Root = Machine.at(S.Root);
+  Nfa Out = Root;
+  if (S.LeftMarker != NoMarker) {
+    const EpsilonInstance &Inst = Choice.at({S.Root, S.LeftMarker});
+    Out.setStart(Inst.To);
+  }
+  if (S.RightMarker != NoMarker) {
+    const EpsilonInstance &Inst = Choice.at({S.Root, S.RightMarker});
+    Out = Out.inducedFromFinal(Inst.From);
+  }
+  return Out.trimmed();
+}
+
+void GciRun::enumerateSolutions() {
+  // Roots: Temps that are not operands of any further concatenation; their
+  // machines host every influenced node's solution ("there is always one
+  // non-influenced node", Figure 8 step 7 — one per expression tree).
+  std::vector<NodeId> Roots;
+  for (NodeId N : Group)
+    if (G.kind(N) == NodeKind::Temp && G.concatsUsing(N).empty())
+      Roots.push_back(N);
+
+  // Every accepting path of a root machine crosses each of its markers, so
+  // an empty instance list implies an empty root language: the group has
+  // no non-empty solutions at all.
+  struct ChoicePoint {
+    NodeId Root;
+    EpsilonMarker Marker;
+    std::vector<EpsilonInstance> Instances;
+  };
+  std::vector<ChoicePoint> Choices;
+  for (NodeId R : Roots) {
+    if (Machine.at(R).languageIsEmpty()) {
+      DPRLE_DEBUG_LOG("gci", Os << "root " << G.name(R)
+                                << " is empty; group unsatisfiable");
+      return;
+    }
+    for (EpsilonMarker M : Machine.at(R).markersUsed())
+      Choices.push_back({R, M, Machine.at(R).markerInstances(M)});
+  }
+  DPRLE_DEBUG_LOG("gci", {
+    size_t Combos = 1;
+    for (const ChoicePoint &CP : Choices)
+      Combos = Combos * CP.Instances.size();
+    Os << "enumerating " << Choices.size() << " choice points, "
+       << Combos << " combinations";
+  });
+
+  // Flattened constraints serve two purposes: post-hoc verification of
+  // every candidate (always) and quotient-based maximization (optional).
+  buildFlatConstraints(Roots);
+
+  // Variables needing an output language.
+  std::vector<NodeId> Vars;
+  for (NodeId N : Group)
+    if (G.kind(N) == NodeKind::Variable)
+      Vars.push_back(N);
+
+  // Odometer over all_combinations (Figure 8 line 15).
+  std::vector<size_t> Odometer(Choices.size(), 0);
+  while (true) {
+    ++Result.CombinationsTried;
+    std::map<std::pair<NodeId, EpsilonMarker>, EpsilonInstance> Choice;
+    for (size_t I = 0; I != Choices.size(); ++I)
+      Choice[{Choices[I].Root, Choices[I].Marker}] =
+          Choices[I].Instances[Odometer[I]];
+
+    // Build the candidate assignment; a variable influenced by several
+    // concatenations must satisfy all of them simultaneously, hence the
+    // intersection (paper: "ensure that [vb] satisfies both constraints").
+    std::map<NodeId, Nfa> Candidate;
+    bool Valid = true;
+    for (NodeId V : Vars) {
+      const std::vector<Segment> &Segments = Solution.at(V);
+      assert(!Segments.empty() && "group variable with no tracking entry");
+      Nfa Lang = induceSegment(Segments.front(), Choice);
+      if (Segments.size() > 1) {
+        // A variable used in several concatenations takes the
+        // intersection of its induced sub-NFAs. Slices inherit
+        // guess-the-end nondeterminism from the concat construction, so
+        // intersecting many near-identical slices doubles the state
+        // space per step unless each factor is canonicalized first.
+        // Variable slices carry no markers (markers live on concat
+        // boundaries, outside the slice), so minimization is safe here.
+        Lang = minimized(Lang.withoutMarkers());
+        for (size_t I = 1; I != Segments.size() && !Lang.languageIsEmpty();
+             ++I) {
+          DPRLE_DEBUG_LOG("gci-combo", Os << G.name(V) << " entry " << I
+                                          << " lang states "
+                                          << Lang.numStates());
+          Nfa Slice = minimized(
+              induceSegment(Segments[I], Choice).withoutMarkers());
+          Lang = minimized(intersect(Lang, Slice));
+        }
+      }
+      if (Lang.languageIsEmpty()) {
+        Valid = false;
+        break;
+      }
+      Candidate[V] = Lang.withoutMarkers();
+    }
+
+    // Certify the candidate: every constraint must hold semantically with
+    // constants at their full languages. See GciResult's documentation of
+    // CombinationsRejectedByVerification for why this can fail.
+    if (Valid) {
+      for (const FlatConstraint &FC : FlatConstraints) {
+        Nfa Whole = Nfa::epsilonLanguage();
+        for (NodeId T : FC.Terms)
+          Whole = concat(Whole, termLanguage(T, Candidate));
+        if (!intersect(Whole, FC.NotConstraint).trimmed().languageIsEmpty()) {
+          Valid = false;
+          ++Result.CombinationsRejectedByVerification;
+          break;
+        }
+      }
+    }
+
+    if (Valid && Opts.MaximizeSolutions)
+      maximizeCandidate(Candidate, Vars);
+
+    if (Valid && Opts.DedupSolutions) {
+      for (const auto &Existing : Result.Solutions) {
+        bool Same = true;
+        for (NodeId V : Vars)
+          if (!equivalent(Existing.at(V), Candidate.at(V))) {
+            Same = false;
+            break;
+          }
+        if (Same) {
+          Valid = false;
+          break;
+        }
+      }
+    }
+    if (Valid) {
+      ++Result.CombinationsAccepted;
+      Result.Solutions.push_back(std::move(Candidate));
+      if (Result.Solutions.size() >= Opts.MaxSolutions)
+        return;
+    }
+
+    // Advance the odometer.
+    size_t I = 0;
+    for (; I != Odometer.size(); ++I) {
+      if (++Odometer[I] < Choices[I].Instances.size())
+        break;
+      Odometer[I] = 0;
+    }
+    if (I == Odometer.size())
+      break;
+  }
+}
+
+GciResult GciRun::run() {
+  for (NodeId N : Group)
+    processNode(N);
+  enumerateSolutions();
+  return Result;
+}
+
+} // namespace
+
+GciResult dprle::solveCiGroup(const DependencyGraph &G,
+                              const std::vector<NodeId> &Group,
+                              const GciOptions &Opts,
+                              const std::map<NodeId, Nfa> *BaseLanguage) {
+  return GciRun(G, Group, Opts, BaseLanguage).run();
+}

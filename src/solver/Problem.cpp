@@ -1,0 +1,87 @@
+//===- Problem.cpp - RMA problem instances ------------------------------------//
+
+#include "solver/Problem.h"
+#include "regex/NfaToRegex.h"
+
+#include <cassert>
+
+using namespace dprle;
+
+namespace {
+
+/// Escapes '/' so the regex can be embedded in a /.../ literal.
+std::string escapeSlashes(const std::string &Regex) {
+  std::string Out;
+  for (char C : Regex) {
+    if (C == '/')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+VarId Problem::addVariable(std::string Name) {
+  VariableNames.push_back(std::move(Name));
+  return static_cast<VarId>(VariableNames.size() - 1);
+}
+
+std::optional<VarId> Problem::variableByName(const std::string &Name) const {
+  for (VarId V = 0; V != VariableNames.size(); ++V)
+    if (VariableNames[V] == Name)
+      return V;
+  return std::nullopt;
+}
+
+Term Problem::var(VarId V) const {
+  assert(V < numVariables() && "unknown variable");
+  Term T;
+  T.TermKind = Term::Kind::Variable;
+  T.Var = V;
+  return T;
+}
+
+Term Problem::constant(Nfa Language, std::string Name) const {
+  Term T;
+  T.TermKind = Term::Kind::Constant;
+  T.Language = std::move(Language);
+  T.Name = std::move(Name);
+  return T;
+}
+
+void Problem::addConstraint(std::vector<Term> Lhs, Nfa Rhs,
+                            std::string RhsName) {
+  assert(!Lhs.empty() && "constraint with empty left-hand side");
+  Constraint C;
+  C.Lhs = std::move(Lhs);
+  C.Rhs = std::move(Rhs);
+  C.RhsName = std::move(RhsName);
+  Constraints.push_back(std::move(C));
+}
+
+std::string Problem::str() const {
+  std::string Out;
+  if (numVariables()) {
+    Out += "var ";
+    for (VarId V = 0; V != numVariables(); ++V) {
+      if (V)
+        Out += ", ";
+      Out += VariableNames[V];
+    }
+    Out += ";\n";
+  }
+  for (const Constraint &C : Constraints) {
+    for (size_t I = 0; I != C.Lhs.size(); ++I) {
+      if (I)
+        Out += " . ";
+      const Term &T = C.Lhs[I];
+      if (T.isVariable())
+        Out += VariableNames[T.Var];
+      else
+        Out += "/" + escapeSlashes(nfaToRegex(T.Language)) + "/";
+    }
+    Out += " <= /" + escapeSlashes(nfaToRegex(C.Rhs)) + "/;\n";
+  }
+  return Out;
+}

@@ -1,0 +1,20 @@
+//===- Solution.cpp - Satisfying assignments -----------------------------------//
+
+#include "solver/Solution.h"
+#include "automata/NfaOps.h"
+#include "regex/NfaToRegex.h"
+
+using namespace dprle;
+
+std::optional<std::string> Assignment::witness(VarId V) const {
+  return shortestString(Languages[V]);
+}
+
+std::vector<std::string> Assignment::witnesses(VarId V, size_t Count,
+                                               size_t MaxLen) const {
+  return enumerateStrings(Languages[V], MaxLen, Count);
+}
+
+std::string Assignment::regexFor(VarId V) const {
+  return nfaToRegex(Languages[V]);
+}

@@ -1,0 +1,161 @@
+//===- Solver.cpp - The RMA decision procedure ---------------------------------//
+
+#include "solver/Solver.h"
+#include "automata/NfaOps.h"
+#include "automata/OpStats.h"
+#include "support/Debug.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace dprle;
+
+SolveResult Solver::solve(const Problem &P) const {
+  return solveImpl(P, nullptr);
+}
+
+SolveResult Solver::solveFor(const Problem &P,
+                             const std::vector<VarId> &Of) const {
+  return solveImpl(P, &Of);
+}
+
+SolveResult Solver::solveImpl(const Problem &P,
+                              const std::vector<VarId> *Of) const {
+  // Which variables the client cares about (all by default).
+  std::vector<bool> Queried(P.numVariables(), Of == nullptr);
+  if (Of)
+    for (VarId V : *Of)
+      Queried[V] = true;
+
+  Timer Clock;
+  uint64_t StatesBefore = OpStats::global().totalStatesVisited();
+
+  SolveResult Result;
+  Result.Stats.NumConstraints = P.constraints().size();
+
+  DependencyGraph G = DependencyGraph::build(P, Opts.CanonicalizeConstants);
+  Result.Stats.NumNodes = G.numNodes();
+
+  auto Finish = [&](bool Satisfiable) -> SolveResult & {
+    Result.Satisfiable = Satisfiable;
+    Result.Stats.SolveSeconds = Clock.seconds();
+    Result.Stats.StatesVisited =
+        OpStats::global().totalStatesVisited() - StatesBefore;
+    return Result;
+  };
+
+  // --- Stage 2: reduce acyclic constraints (Figure 7 lines 3-8). ---------
+  //
+  // Constant-vs-constant subset edges are pure checks; variables outside
+  // every CI-group resolve to the intersection of their constraining
+  // constants.
+  for (const SubsetEdge &E : G.subsetEdges()) {
+    if (G.kind(E.To) != NodeKind::Constant)
+      continue;
+    if (!isSubsetOf(G.constantLanguage(E.To), G.constantLanguage(E.From))) {
+      DPRLE_DEBUG_LOG("solver", Os << "constant inclusion " << G.name(E.To)
+                                   << " <= " << G.name(E.From)
+                                   << " is violated");
+      return Finish(false);
+    }
+  }
+
+  std::vector<Nfa> FreeLanguage(P.numVariables());
+  std::vector<bool> IsFree(P.numVariables(), false);
+  for (VarId V = 0; V != P.numVariables(); ++V) {
+    NodeId N = G.nodeForVariable(V);
+    if (G.inAnyConcat(N))
+      continue;
+    IsFree[V] = true;
+    if (!Queried[V]) {
+      // Partial solving: leave unqueried free variables at Sigma-star.
+      FreeLanguage[V] = Nfa::sigmaStar();
+      continue;
+    }
+    Nfa M = Nfa::sigmaStar();
+    for (NodeId C : G.subsetConstraintsOn(N)) {
+      M = intersect(M, G.constantLanguage(C)).trimmed();
+      ++Result.Stats.SubsetIntersections;
+    }
+    if (Opts.MinimizeIntermediates)
+      M = minimized(M);
+    if (M.languageIsEmpty()) {
+      // A maximal satisfying assignment would map V to the empty
+      // language; following Figure 7 lines 20-23 that is a failure.
+      DPRLE_DEBUG_LOG("solver", Os << "variable " << P.variableName(V)
+                                   << " has empty language");
+      return Finish(false);
+    }
+    FreeLanguage[V] = std::move(M);
+  }
+
+  // --- Stage 3: solve CI-groups (Figure 7 lines 9-15). -------------------
+  //
+  // Groups share no nodes, so the worklist is a running cross-product of
+  // the per-group disjunctive solution sets, capped at MaxSolutions.
+  std::vector<std::vector<NodeId>> Groups = G.ciGroups();
+  Result.Stats.GciGroups = Groups.size();
+
+  GciOptions GOpts;
+  GOpts.MaxSolutions = Opts.MaxSolutions;
+  GOpts.MinimizeIntermediates = Opts.MinimizeIntermediates;
+  GOpts.DedupSolutions = Opts.DedupSolutions;
+  GOpts.MaximizeSolutions = Opts.MaximizeSolutions;
+
+  std::vector<std::map<NodeId, Nfa>> Partials = {{}};
+  for (const std::vector<NodeId> &Group : Groups) {
+    if (Of) {
+      // Partial solving: skip groups with no queried variable.
+      bool Relevant = false;
+      for (NodeId N : Group)
+        Relevant = Relevant || (G.kind(N) == NodeKind::Variable &&
+                                Queried[G.variable(N)]);
+      if (!Relevant)
+        continue;
+    }
+    GciResult GR = solveCiGroup(G, Group, GOpts);
+    Result.Stats.ConcatsBuilt += GR.ConcatsBuilt;
+    Result.Stats.SubsetIntersections += GR.SubsetIntersections;
+    Result.Stats.CombinationsTried += GR.CombinationsTried;
+    Result.Stats.CombinationsAccepted += GR.CombinationsAccepted;
+    Result.Stats.CombinationsRejectedByVerification +=
+        GR.CombinationsRejectedByVerification;
+    if (GR.Solutions.empty())
+      return Finish(false);
+    std::vector<std::map<NodeId, Nfa>> Next;
+    for (const auto &Partial : Partials) {
+      for (const auto &GroupSolution : GR.Solutions) {
+        if (Next.size() >= Opts.MaxSolutions)
+          break;
+        ++Result.Stats.WorklistIterations;
+        std::map<NodeId, Nfa> Merged = Partial;
+        Merged.insert(GroupSolution.begin(), GroupSolution.end());
+        Next.push_back(std::move(Merged));
+      }
+      if (Next.size() >= Opts.MaxSolutions)
+        break;
+    }
+    Partials = std::move(Next);
+  }
+
+  // --- Stage 4: assemble assignments (Figure 7 lines 16-23). -------------
+  for (const auto &Partial : Partials) {
+    std::vector<Nfa> Languages(P.numVariables());
+    for (VarId V = 0; V != P.numVariables(); ++V) {
+      if (IsFree[V]) {
+        Languages[V] = FreeLanguage[V];
+        continue;
+      }
+      auto It = Partial.find(G.nodeForVariable(V));
+      if (It == Partial.end()) {
+        // Partial solving: the variable's group was skipped.
+        assert(Of && "group variable missing from group solution");
+        Languages[V] = Nfa::sigmaStar();
+        continue;
+      }
+      Languages[V] = It->second;
+    }
+    Result.Assignments.emplace_back(std::move(Languages));
+  }
+  return Finish(!Result.Assignments.empty());
+}

@@ -1,0 +1,44 @@
+//===- SolverStats.h - Solver run statistics --------------------*- C++ -*-==//
+///
+/// \file
+/// Counters describing one Solver::solve run. The Figure 12 benchmark
+/// reports SolveSeconds as the paper's T_S column; the scaling benchmarks
+/// report StatesVisited (paper Section 3.5's cost model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SOLVER_SOLVERSTATS_H
+#define DPRLE_SOLVER_SOLVERSTATS_H
+
+#include <cstdint>
+
+namespace dprle {
+
+struct SolverStats {
+  /// Constraints in the instance (the paper's |C|).
+  uint64_t NumConstraints = 0;
+  /// Dependency-graph vertices.
+  uint64_t NumNodes = 0;
+  /// CI-groups processed by gci.
+  uint64_t GciGroups = 0;
+  /// Concatenation machines built (generalized concat_intersect calls).
+  uint64_t ConcatsBuilt = 0;
+  /// Subset-edge intersections performed.
+  uint64_t SubsetIntersections = 0;
+  /// Marker-instance combinations examined while enumerating solutions.
+  uint64_t CombinationsTried = 0;
+  /// Combinations that produced a valid (all-non-empty) assignment.
+  uint64_t CombinationsAccepted = 0;
+  /// Candidates rejected by semantic verification (see GciResult).
+  uint64_t CombinationsRejectedByVerification = 0;
+  /// Worklist expansions (paper Figure 7 iterations).
+  uint64_t WorklistIterations = 0;
+  /// NFA states visited during the run (delta of OpStats counters).
+  uint64_t StatesVisited = 0;
+  /// Wall-clock constraint-solving time in seconds (the paper's T_S).
+  double SolveSeconds = 0.0;
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SOLVER_SOLVERSTATS_H

@@ -1,0 +1,144 @@
+//===- CharSet.cpp - Sets of 8-bit symbols --------------------------------==//
+
+#include "support/CharSet.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dprle;
+
+CharSet CharSet::singleton(unsigned char C) {
+  CharSet S;
+  S.insert(C);
+  return S;
+}
+
+CharSet CharSet::range(unsigned char Lo, unsigned char Hi) {
+  CharSet S;
+  S.insertRange(Lo, Hi);
+  return S;
+}
+
+CharSet CharSet::all() { return range(0, 255); }
+
+CharSet CharSet::fromString(const std::string &Str) {
+  CharSet S;
+  for (char C : Str)
+    S.insert(static_cast<unsigned char>(C));
+  return S;
+}
+
+void CharSet::insertRange(unsigned char Lo, unsigned char Hi) {
+  for (unsigned C = Lo; C <= Hi; ++C)
+    insert(static_cast<unsigned char>(C));
+}
+
+unsigned CharSet::count() const {
+  return __builtin_popcountll(Words[0]) + __builtin_popcountll(Words[1]) +
+         __builtin_popcountll(Words[2]) + __builtin_popcountll(Words[3]);
+}
+
+unsigned char CharSet::min() const {
+  assert(!empty() && "min() of empty CharSet");
+  for (unsigned W = 0; W != 4; ++W)
+    if (Words[W])
+      return static_cast<unsigned char>(W * 64 + __builtin_ctzll(Words[W]));
+  return 0;
+}
+
+bool CharSet::operator<(const CharSet &RHS) const {
+  for (unsigned W = 0; W != 4; ++W)
+    if (Words[W] != RHS.Words[W])
+      return Words[W] < RHS.Words[W];
+  return false;
+}
+
+CharSet CharSet::operator|(const CharSet &RHS) const {
+  CharSet S;
+  for (unsigned W = 0; W != 4; ++W)
+    S.Words[W] = Words[W] | RHS.Words[W];
+  return S;
+}
+
+CharSet CharSet::operator&(const CharSet &RHS) const {
+  CharSet S;
+  for (unsigned W = 0; W != 4; ++W)
+    S.Words[W] = Words[W] & RHS.Words[W];
+  return S;
+}
+
+CharSet CharSet::operator-(const CharSet &RHS) const {
+  CharSet S;
+  for (unsigned W = 0; W != 4; ++W)
+    S.Words[W] = Words[W] & ~RHS.Words[W];
+  return S;
+}
+
+CharSet CharSet::operator~() const {
+  CharSet S;
+  for (unsigned W = 0; W != 4; ++W)
+    S.Words[W] = ~Words[W];
+  return S;
+}
+
+CharSet &CharSet::operator|=(const CharSet &RHS) {
+  for (unsigned W = 0; W != 4; ++W)
+    Words[W] |= RHS.Words[W];
+  return *this;
+}
+
+CharSet &CharSet::operator&=(const CharSet &RHS) {
+  for (unsigned W = 0; W != 4; ++W)
+    Words[W] &= RHS.Words[W];
+  return *this;
+}
+
+std::string CharSet::str() const {
+  if (empty())
+    return "[]";
+  if (count() == AlphabetSize)
+    return ".";
+  // Render as ranges within a character class; single symbols print alone.
+  std::string Out;
+  bool Negate = count() > AlphabetSize / 2;
+  const CharSet &Shown = *this;
+  CharSet Complement = ~*this;
+  const CharSet &Source = Negate ? Complement : Shown;
+  if (count() == 1 && !Negate)
+    return escapeChar(min());
+  Out += '[';
+  if (Negate)
+    Out += '^';
+  int RangeLo = -1, RangeHi = -1;
+  auto Flush = [&] {
+    if (RangeLo < 0)
+      return;
+    Out += escapeChar(static_cast<unsigned char>(RangeLo));
+    if (RangeHi > RangeLo) {
+      if (RangeHi > RangeLo + 1)
+        Out += '-';
+      Out += escapeChar(static_cast<unsigned char>(RangeHi));
+    }
+    RangeLo = RangeHi = -1;
+  };
+  Source.forEach([&](unsigned char C) {
+    if (RangeLo >= 0 && C == RangeHi + 1) {
+      RangeHi = C;
+      return;
+    }
+    Flush();
+    RangeLo = RangeHi = C;
+  });
+  Flush();
+  Out += ']';
+  return Out;
+}
+
+size_t CharSet::hash() const {
+  size_t H = 0xcbf29ce484222325ull;
+  for (unsigned W = 0; W != 4; ++W) {
+    H ^= Words[W];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}

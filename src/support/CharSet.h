@@ -1,0 +1,112 @@
+//===- CharSet.h - Sets of 8-bit symbols ------------------------*- C++ -*-==//
+//
+// Part of dprle-cpp, a reproduction of Hooimeijer & Weimer, "A Decision
+// Procedure for Subset Constraints over Regular Languages" (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CharSet is a value type describing a subset of the 256-symbol byte
+/// alphabet. NFA transitions are labeled with CharSets, which keeps automata
+/// compact even for large classes such as \p Sigma or \p [^'].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_CHARSET_H
+#define DPRLE_SUPPORT_CHARSET_H
+
+#include <cstdint>
+#include <string>
+
+namespace dprle {
+
+/// A set of byte values, stored as a 256-bit bitmap.
+class CharSet {
+public:
+  /// The number of distinct symbols in the alphabet.
+  static constexpr unsigned AlphabetSize = 256;
+
+  /// Constructs the empty set.
+  CharSet() : Words{0, 0, 0, 0} {}
+
+  /// Constructs a singleton set.
+  static CharSet singleton(unsigned char C);
+
+  /// Constructs the inclusive range [Lo, Hi]; empty if Lo > Hi.
+  static CharSet range(unsigned char Lo, unsigned char Hi);
+
+  /// Constructs the full alphabet Sigma.
+  static CharSet all();
+
+  /// Constructs a set holding every byte that occurs in \p Str.
+  static CharSet fromString(const std::string &Str);
+
+  bool contains(unsigned char C) const {
+    return (Words[C >> 6] >> (C & 63)) & 1;
+  }
+
+  void insert(unsigned char C) { Words[C >> 6] |= uint64_t(1) << (C & 63); }
+
+  void erase(unsigned char C) { Words[C >> 6] &= ~(uint64_t(1) << (C & 63)); }
+
+  /// Inserts the inclusive range [Lo, Hi].
+  void insertRange(unsigned char Lo, unsigned char Hi);
+
+  bool empty() const { return !(Words[0] | Words[1] | Words[2] | Words[3]); }
+
+  /// Returns the number of symbols in the set.
+  unsigned count() const;
+
+  /// Returns the smallest symbol in the set; the set must be non-empty.
+  unsigned char min() const;
+
+  bool operator==(const CharSet &RHS) const {
+    return Words[0] == RHS.Words[0] && Words[1] == RHS.Words[1] &&
+           Words[2] == RHS.Words[2] && Words[3] == RHS.Words[3];
+  }
+  bool operator!=(const CharSet &RHS) const { return !(*this == RHS); }
+
+  /// Total order suitable for use as a map key; the order itself carries no
+  /// semantic meaning.
+  bool operator<(const CharSet &RHS) const;
+
+  CharSet operator|(const CharSet &RHS) const;
+  CharSet operator&(const CharSet &RHS) const;
+  /// Set difference: symbols in this set but not in \p RHS.
+  CharSet operator-(const CharSet &RHS) const;
+  /// Complement with respect to the full byte alphabet.
+  CharSet operator~() const;
+
+  CharSet &operator|=(const CharSet &RHS);
+  CharSet &operator&=(const CharSet &RHS);
+
+  bool intersects(const CharSet &RHS) const { return !((*this & RHS).empty()); }
+
+  bool isSubsetOf(const CharSet &RHS) const { return (*this - RHS).empty(); }
+
+  /// Invokes \p Fn for every symbol in the set, in increasing order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (unsigned W = 0; W != 4; ++W) {
+      uint64_t Bits = Words[W];
+      while (Bits) {
+        unsigned Bit = __builtin_ctzll(Bits);
+        Fn(static_cast<unsigned char>(W * 64 + Bit));
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+  /// Renders the set as a compact character-class string such as "[a-z0-9]",
+  /// "." for the full alphabet, or "[]" for the empty set.
+  std::string str() const;
+
+  /// Hash value usable with unordered containers.
+  size_t hash() const;
+
+private:
+  uint64_t Words[4];
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_CHARSET_H

@@ -1,0 +1,20 @@
+//===- Debug.cpp - Debug logging -------------------------------------------==//
+
+#include "support/Debug.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace dprle;
+
+bool dprle::isDebugEnabled(const char *Component) {
+  static const char *Env = std::getenv("DPRLE_DEBUG");
+  if (!Env)
+    return false;
+  std::string Value(Env);
+  if (Value == "1" || Value == "all")
+    return true;
+  return Value.find(Component) != std::string::npos;
+}
+
+std::ostream &dprle::debugStream() { return std::cerr; }

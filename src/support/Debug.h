@@ -1,0 +1,40 @@
+//===- Debug.h - Debug logging ----------------------------------*- C++ -*-==//
+///
+/// \file
+/// Lightweight debug logging gated on the DPRLE_DEBUG environment variable.
+/// Use DPRLE_DEBUG_LOG(X) with a streaming expression:
+///
+/// \code
+///   DPRLE_DEBUG_LOG("solver", Os << "processing node " << N);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_DEBUG_H
+#define DPRLE_SUPPORT_DEBUG_H
+
+#include <ostream>
+#include <string>
+
+namespace dprle {
+
+/// Returns true when debug output for \p Component is enabled. Output is
+/// enabled when $DPRLE_DEBUG is "1", "all", or contains \p Component.
+bool isDebugEnabled(const char *Component);
+
+/// Returns the stream debug output is written to (stderr).
+std::ostream &debugStream();
+
+} // namespace dprle
+
+#define DPRLE_DEBUG_LOG(Component, Stmt)                                      \
+  do {                                                                         \
+    if (::dprle::isDebugEnabled(Component)) {                                  \
+      std::ostream &Os = ::dprle::debugStream();                               \
+      Os << "[" << (Component) << "] ";                                        \
+      Stmt;                                                                    \
+      Os << "\n";                                                              \
+    }                                                                          \
+  } while (false)
+
+#endif // DPRLE_SUPPORT_DEBUG_H

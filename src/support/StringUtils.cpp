@@ -1,0 +1,102 @@
+//===- StringUtils.cpp - Small string helpers ------------------------------==//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace dprle;
+
+bool dprle::isRegexMetaChar(unsigned char C) {
+  switch (C) {
+  case '\\':
+  case '.':
+  case '*':
+  case '+':
+  case '?':
+  case '(':
+  case ')':
+  case '[':
+  case ']':
+  case '{':
+  case '}':
+  case '|':
+  case '^':
+  case '$':
+  case '-':
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string dprle::escapeChar(unsigned char C) {
+  if (isRegexMetaChar(C))
+    return std::string("\\") + static_cast<char>(C);
+  if (std::isprint(C))
+    return std::string(1, static_cast<char>(C));
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "\\x%02x", C);
+  return Buf;
+}
+
+std::string dprle::escapeString(const std::string &Str) {
+  std::string Out;
+  for (char C : Str)
+    Out += escapeChar(static_cast<unsigned char>(C));
+  return Out;
+}
+
+std::string dprle::quoteString(const std::string &Str) {
+  std::string Out = "\"";
+  for (char C : Str) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (U) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (std::isprint(U)) {
+        Out += static_cast<char>(U);
+      } else {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\x%02x", U);
+        Out += Buf;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string dprle::join(const std::vector<std::string> &Parts,
+                        const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+long dprle::parseDecimal(const std::string &Str, size_t &Pos) {
+  if (Pos >= Str.size() || !std::isdigit(static_cast<unsigned char>(Str[Pos])))
+    return -1;
+  long Value = 0;
+  while (Pos < Str.size() &&
+         std::isdigit(static_cast<unsigned char>(Str[Pos]))) {
+    Value = Value * 10 + (Str[Pos] - '0');
+    ++Pos;
+  }
+  return Value;
+}

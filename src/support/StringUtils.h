@@ -1,0 +1,43 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-==//
+///
+/// \file
+/// String escaping and formatting helpers shared by the automata printers,
+/// the regex pretty-printer, and the tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_STRINGUTILS_H
+#define DPRLE_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace dprle {
+
+/// Escapes one byte for display inside regex-like output: printable symbols
+/// pass through (regex metacharacters gain a backslash); everything else is
+/// rendered as \\xNN.
+std::string escapeChar(unsigned char C);
+
+/// Escapes every byte of \p Str for display (see escapeChar).
+std::string escapeString(const std::string &Str);
+
+/// Escapes \p Str for inclusion in a double-quoted literal: quotes,
+/// backslashes, and non-printables become escape sequences.
+std::string quoteString(const std::string &Str);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Returns true if \p C is one of the regex metacharacters that escapeChar
+/// protects with a backslash.
+bool isRegexMetaChar(unsigned char C);
+
+/// Parses a non-negative decimal integer from \p Str starting at \p Pos,
+/// advancing \p Pos past the digits. Returns -1 if no digit is present.
+long parseDecimal(const std::string &Str, size_t &Pos);
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_STRINGUTILS_H

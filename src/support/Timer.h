@@ -1,0 +1,38 @@
+//===- Timer.h - Wall-clock timing ------------------------------*- C++ -*-==//
+///
+/// \file
+/// A minimal wall-clock timer used by the benchmark harnesses to report the
+/// constraint-solving times of paper Figure 12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_TIMER_H
+#define DPRLE_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace dprle {
+
+/// Measures elapsed wall-clock time from construction or the last reset().
+class Timer {
+public:
+  Timer() { reset(); }
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_TIMER_H

@@ -1,0 +1,57 @@
+//===- UnionFind.h - Disjoint-set forest ------------------------*- C++ -*-==//
+///
+/// \file
+/// A union-find structure used by the solver to discover CI-groups
+/// (connected components of concatenation edges, paper Section 3.4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_UNIONFIND_H
+#define DPRLE_SUPPORT_UNIONFIND_H
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace dprle {
+
+/// Disjoint-set forest with path compression and union by rank.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N), Rank(N, 0) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  /// Returns the representative of \p X's set.
+  size_t find(size_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the sets holding \p A and \p B; returns the new representative.
+  size_t merge(size_t A, size_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return A;
+    if (Rank[A] < Rank[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    if (Rank[A] == Rank[B])
+      ++Rank[A];
+    return A;
+  }
+
+  bool connected(size_t A, size_t B) { return find(A) == find(B); }
+
+private:
+  std::vector<size_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_UNIONFIND_H

@@ -1,0 +1,118 @@
+//===- CharSetTest.cpp - Unit tests for CharSet --------------------------===//
+
+#include "support/CharSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+
+TEST(CharSetTest, EmptyByDefault) {
+  CharSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  for (unsigned C = 0; C != 256; ++C)
+    EXPECT_FALSE(S.contains(static_cast<unsigned char>(C)));
+}
+
+TEST(CharSetTest, SingletonContainsExactlyOneSymbol) {
+  CharSet S = CharSet::singleton('x');
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_TRUE(S.contains('x'));
+  EXPECT_FALSE(S.contains('y'));
+  EXPECT_EQ(S.min(), 'x');
+}
+
+TEST(CharSetTest, RangeInclusive) {
+  CharSet S = CharSet::range('a', 'f');
+  EXPECT_EQ(S.count(), 6u);
+  EXPECT_TRUE(S.contains('a'));
+  EXPECT_TRUE(S.contains('f'));
+  EXPECT_FALSE(S.contains('g'));
+  EXPECT_FALSE(S.contains('`'));
+}
+
+TEST(CharSetTest, RangeAcrossWordBoundaries) {
+  // 63 and 64 straddle the first uint64 word; 127/128 the second.
+  CharSet S = CharSet::range(60, 130);
+  EXPECT_EQ(S.count(), 71u);
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_TRUE(S.contains(64));
+  EXPECT_TRUE(S.contains(127));
+  EXPECT_TRUE(S.contains(128));
+  EXPECT_FALSE(S.contains(59));
+  EXPECT_FALSE(S.contains(131));
+}
+
+TEST(CharSetTest, AllHas256Symbols) {
+  CharSet S = CharSet::all();
+  EXPECT_EQ(S.count(), 256u);
+  EXPECT_TRUE(S.contains(0));
+  EXPECT_TRUE(S.contains(255));
+}
+
+TEST(CharSetTest, FromStringDeduplicates) {
+  CharSet S = CharSet::fromString("abba");
+  EXPECT_EQ(S.count(), 2u);
+  EXPECT_TRUE(S.contains('a'));
+  EXPECT_TRUE(S.contains('b'));
+}
+
+TEST(CharSetTest, BooleanAlgebra) {
+  CharSet A = CharSet::range('a', 'm');
+  CharSet B = CharSet::range('g', 'z');
+  EXPECT_EQ((A | B).count(), 26u);
+  EXPECT_EQ((A & B), CharSet::range('g', 'm'));
+  EXPECT_EQ((A - B), CharSet::range('a', 'f'));
+  EXPECT_EQ((~A).count(), 256u - 13u);
+  EXPECT_TRUE((A & ~A).empty());
+  EXPECT_EQ((A | ~A), CharSet::all());
+}
+
+TEST(CharSetTest, SubsetAndIntersects) {
+  CharSet Digits = CharSet::range('0', '9');
+  CharSet Alnum = Digits | CharSet::range('a', 'z');
+  EXPECT_TRUE(Digits.isSubsetOf(Alnum));
+  EXPECT_FALSE(Alnum.isSubsetOf(Digits));
+  EXPECT_TRUE(Digits.intersects(Alnum));
+  EXPECT_FALSE(Digits.intersects(CharSet::range('a', 'z')));
+}
+
+TEST(CharSetTest, EraseRemovesSymbol) {
+  CharSet S = CharSet::range('a', 'c');
+  S.erase('b');
+  EXPECT_EQ(S.count(), 2u);
+  EXPECT_FALSE(S.contains('b'));
+}
+
+TEST(CharSetTest, ForEachVisitsInOrder) {
+  CharSet S = CharSet::fromString("dba");
+  std::string Seen;
+  S.forEach([&](unsigned char C) { Seen += static_cast<char>(C); });
+  EXPECT_EQ(Seen, "abd");
+}
+
+TEST(CharSetTest, MinOfHighRange) {
+  CharSet S = CharSet::range(200, 210);
+  EXPECT_EQ(S.min(), 200);
+}
+
+TEST(CharSetTest, StrRendersSingletonsAndRanges) {
+  EXPECT_EQ(CharSet::singleton('a').str(), "a");
+  EXPECT_EQ(CharSet::singleton('+').str(), "\\+");
+  EXPECT_EQ(CharSet::all().str(), ".");
+  EXPECT_EQ(CharSet().str(), "[]");
+  EXPECT_EQ(CharSet::range('a', 'c').str(), "[a-c]");
+  EXPECT_EQ(CharSet::range('a', 'b').str(), "[ab]");
+}
+
+TEST(CharSetTest, OrderingIsTotalAndConsistent) {
+  CharSet A = CharSet::singleton('a');
+  CharSet B = CharSet::singleton('b');
+  EXPECT_TRUE((A < B) != (B < A) || A == B);
+  EXPECT_FALSE(A < A);
+}
+
+TEST(CharSetTest, HashDiffersForDifferentSets) {
+  EXPECT_NE(CharSet::singleton('a').hash(), CharSet::singleton('b').hash());
+  EXPECT_EQ(CharSet::singleton('a').hash(), CharSet::singleton('a').hash());
+}

@@ -1,0 +1,161 @@
+//===- DependencyGraphTest.cpp - Dependency-graph construction tests ------===//
+
+#include "solver/DependencyGraph.h"
+#include "regex/RegexCompiler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace dprle;
+
+namespace {
+
+/// Builds the motivating-example system of paper Figure 6:
+///   v1 <= c1,  v2 <= c2,  v1 . v2 <= c3.
+Problem figure6Problem() {
+  Problem P;
+  VarId V1 = P.addVariable("v1");
+  VarId V2 = P.addVariable("v2");
+  P.addConstraint({P.var(V1)}, Nfa::literal("nid_"), "c1");
+  P.addConstraint({P.var(V2)}, searchLanguage("[\\d]$"), "c2");
+  P.addConstraint({P.var(V1), P.var(V2)}, searchLanguage("'"), "c3");
+  return P;
+}
+
+} // namespace
+
+TEST(DependencyGraphTest, PaperFigure6) {
+  Problem P = figure6Problem();
+  DependencyGraph G = DependencyGraph::build(P);
+
+  // Vertices: v1, v2, t0, c1, c2, c3.
+  EXPECT_EQ(G.numNodes(), 6u);
+  ASSERT_EQ(G.concatEdges().size(), 1u);
+  ASSERT_EQ(G.subsetEdges().size(), 3u);
+
+  const ConcatEdge &E = G.concatEdges().front();
+  EXPECT_EQ(E.Lhs, G.nodeForVariable(0));
+  EXPECT_EQ(E.Rhs, G.nodeForVariable(1));
+  EXPECT_EQ(G.kind(E.Target), NodeKind::Temp);
+
+  // The subset edge for the third constraint lands on the temp, not on
+  // either variable.
+  bool TempConstrained = false;
+  for (const SubsetEdge &S : G.subsetEdges())
+    if (S.To == E.Target) {
+      TempConstrained = true;
+      EXPECT_EQ(G.kind(S.From), NodeKind::Constant);
+      EXPECT_EQ(G.name(S.From), "c3");
+    }
+  EXPECT_TRUE(TempConstrained);
+}
+
+TEST(DependencyGraphTest, CiGroupContainsConcatParticipants) {
+  Problem P = figure6Problem();
+  DependencyGraph G = DependencyGraph::build(P);
+  auto Groups = G.ciGroups();
+  ASSERT_EQ(Groups.size(), 1u);
+  // Group: v1, v2, t0 (constants are attached via subset edges only).
+  EXPECT_EQ(Groups[0].size(), 3u);
+  // Topological order: the temp comes last.
+  EXPECT_EQ(G.kind(Groups[0].back()), NodeKind::Temp);
+}
+
+TEST(DependencyGraphTest, FreeVariablesAreInNoGroup) {
+  Problem P;
+  VarId V = P.addVariable("free");
+  P.addConstraint({P.var(V)}, Nfa::literal("x"));
+  DependencyGraph G = DependencyGraph::build(P);
+  EXPECT_TRUE(G.ciGroups().empty());
+  EXPECT_FALSE(G.inAnyConcat(G.nodeForVariable(V)));
+}
+
+TEST(DependencyGraphTest, LeftAssociativeFolding) {
+  // v1 . v2 . v3 <= c becomes ((v1.v2).v3) with two temps.
+  Problem P;
+  VarId V1 = P.addVariable("v1");
+  VarId V2 = P.addVariable("v2");
+  VarId V3 = P.addVariable("v3");
+  P.addConstraint({P.var(V1), P.var(V2), P.var(V3)}, Nfa::sigmaStar());
+  DependencyGraph G = DependencyGraph::build(P);
+  ASSERT_EQ(G.concatEdges().size(), 2u);
+  const ConcatEdge &First = G.concatEdges()[0];
+  const ConcatEdge &Second = G.concatEdges()[1];
+  EXPECT_EQ(Second.Lhs, First.Target);
+  EXPECT_EQ(Second.Rhs, G.nodeForVariable(V3));
+}
+
+TEST(DependencyGraphTest, SharedVariableJoinsGroups) {
+  // va.vb <= c1 and vb.vc <= c2 share vb: one CI-group (paper Figure 9).
+  Problem P;
+  VarId Va = P.addVariable("va");
+  VarId Vb = P.addVariable("vb");
+  VarId Vc = P.addVariable("vc");
+  P.addConstraint({P.var(Va), P.var(Vb)}, Nfa::sigmaStar());
+  P.addConstraint({P.var(Vb), P.var(Vc)}, Nfa::sigmaStar());
+  DependencyGraph G = DependencyGraph::build(P);
+  auto Groups = G.ciGroups();
+  ASSERT_EQ(Groups.size(), 1u);
+  EXPECT_EQ(Groups[0].size(), 5u); // va, vb, vc, t0, t1
+}
+
+TEST(DependencyGraphTest, DisjointConstraintsFormSeparateGroups) {
+  Problem P;
+  VarId A = P.addVariable("a");
+  VarId B = P.addVariable("b");
+  VarId C = P.addVariable("c");
+  VarId D = P.addVariable("d");
+  P.addConstraint({P.var(A), P.var(B)}, Nfa::sigmaStar());
+  P.addConstraint({P.var(C), P.var(D)}, Nfa::sigmaStar());
+  DependencyGraph G = DependencyGraph::build(P);
+  EXPECT_EQ(G.ciGroups().size(), 2u);
+}
+
+TEST(DependencyGraphTest, ConstantTermsBecomeConstantNodes) {
+  Problem P;
+  VarId V = P.addVariable("v");
+  P.addConstraint({P.constant(Nfa::literal("nid_"), "prefix"), P.var(V)},
+                  searchLanguage("'"));
+  DependencyGraph G = DependencyGraph::build(P);
+  ASSERT_EQ(G.concatEdges().size(), 1u);
+  const ConcatEdge &E = G.concatEdges().front();
+  EXPECT_EQ(G.kind(E.Lhs), NodeKind::Constant);
+  EXPECT_EQ(G.name(E.Lhs), "prefix");
+  EXPECT_TRUE(G.constantLanguage(E.Lhs).accepts("nid_"));
+}
+
+TEST(DependencyGraphTest, ConstantsAreNormalized) {
+  Problem P;
+  VarId V = P.addVariable("v");
+  // searchLanguage produces epsilon transitions; the graph must normalize.
+  P.addConstraint({P.var(V)}, searchLanguage("abc"));
+  DependencyGraph G = DependencyGraph::build(P);
+  for (NodeId N = 0; N != G.numNodes(); ++N) {
+    if (G.kind(N) != NodeKind::Constant)
+      continue;
+    // Minimal-DFA form: no epsilon transitions, no markers.
+    EXPECT_EQ(G.constantLanguage(N).numEpsilonTransitions(), 0u);
+    EXPECT_TRUE(G.constantLanguage(N).markersUsed().empty());
+  }
+}
+
+TEST(DependencyGraphTest, SubsetConstraintsOnCollectsAll) {
+  Problem P;
+  VarId V = P.addVariable("v");
+  P.addConstraint({P.var(V)}, Nfa::literal("a"));
+  P.addConstraint({P.var(V)}, Nfa::literal("b"));
+  DependencyGraph G = DependencyGraph::build(P);
+  EXPECT_EQ(G.subsetConstraintsOn(G.nodeForVariable(V)).size(), 2u);
+}
+
+TEST(DependencyGraphTest, PrintDotMentionsAllNodes) {
+  Problem P = figure6Problem();
+  DependencyGraph G = DependencyGraph::build(P);
+  std::ostringstream Os;
+  G.printDot(Os);
+  std::string Dot = Os.str();
+  EXPECT_NE(Dot.find("v1"), std::string::npos);
+  EXPECT_NE(Dot.find("c3"), std::string::npos);
+  EXPECT_NE(Dot.find("subset"), std::string::npos);
+}

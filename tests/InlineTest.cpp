@@ -1,0 +1,245 @@
+//===- InlineTest.cpp - Function inlining tests ---------------------------===//
+
+#include "miniphp/Analysis.h"
+#include "miniphp/Inline.h"
+#include "miniphp/Parser.h"
+#include "regex/RegexCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+TEST(InlineTest, ParsesFunctionDeclarations) {
+  ParseResult R = parseProgram(R"(
+    function sanitize($v) {
+      if (!preg_match('/[\d]+$/', $v)) { exit; }
+      return $v;
+    }
+    $x = sanitize($_POST['id']);
+    query("id=" . $x);
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Prog.Functions.size(), 1u);
+  EXPECT_EQ(R.Prog.Functions[0].Name, "sanitize");
+  ASSERT_EQ(R.Prog.Functions[0].Params.size(), 1u);
+  EXPECT_EQ(R.Prog.Functions[0].Params[0], "v");
+  EXPECT_EQ(R.Prog.Body.size(), 2u);
+}
+
+TEST(InlineTest, InlinedSanitizerConstrainsInput) {
+  // The faulty check lives inside the helper; the exploit must still pass
+  // it after inlining.
+  AnalysisResult R = analyzeSource(R"(
+    function sanitize($v) {
+      if (!preg_match('/[\d]+$/', $v)) { exit; }
+      return $v;
+    }
+    $x = sanitize($_POST['id']);
+    query("SELECT a WHERE id=" . $x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  const std::string &W = R.ExploitInputs.at("_POST:id");
+  EXPECT_TRUE(searchLanguage("[\\d]+$").accepts(W));
+  EXPECT_NE(W.find('\''), std::string::npos);
+}
+
+TEST(InlineTest, ProperSanitizerBlocksExploit) {
+  AnalysisResult R = analyzeSource(R"(
+    function sanitize($v) {
+      if (!preg_match('/^[\d]+$/', $v)) { exit; }
+      return $v;
+    }
+    query("id=" . sanitize($_POST['id']));
+  )",
+                                   AttackSpec::sqlQuote());
+  // Direct call inside query's argument is not expression syntax; the
+  // call must be a statement. So this variant fails to parse...
+  if (!R.ParseOk) {
+    // ...which is the documented surface; use the two-step form instead.
+    AnalysisResult R2 = analyzeSource(R"(
+      function sanitize($v) {
+        if (!preg_match('/^[\d]+$/', $v)) { exit; }
+        return $v;
+      }
+      $x = sanitize($_POST['id']);
+      query("id=" . $x);
+    )",
+                                      AttackSpec::sqlQuote());
+    ASSERT_TRUE(R2.ParseOk) << R2.ParseError;
+    EXPECT_FALSE(R2.vulnerable());
+    return;
+  }
+  EXPECT_FALSE(R.vulnerable());
+}
+
+TEST(InlineTest, ReturnValueConcatenation) {
+  AnalysisResult R = analyzeSource(R"(
+    function wrap($v) {
+      $w = "nid_" . $v;
+      return $w;
+    }
+    $x = wrap($_POST['id']);
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  // The sink value is "nid_" . input, so the input alone carries the
+  // quote.
+  EXPECT_NE(R.ExploitInputs.at("_POST:id").find('\''),
+            std::string::npos);
+}
+
+TEST(InlineTest, NestedCallsInline) {
+  AnalysisResult R = analyzeSource(R"(
+    function inner($v) {
+      if (!preg_match('/[0-9]$/', $v)) { exit; }
+      return $v;
+    }
+    function outer($v) {
+      $c = inner($v);
+      return $c;
+    }
+    $x = outer($_POST['id']);
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  const std::string &W = R.ExploitInputs.at("_POST:id");
+  EXPECT_TRUE(isdigit(static_cast<unsigned char>(W.back())));
+}
+
+TEST(InlineTest, TwoCallSitesAreIndependent) {
+  AnalysisResult R = analyzeSource(R"(
+    function tag($v) {
+      $t = $v . "!";
+      return $t;
+    }
+    $a = tag($_POST['p']);
+    $b = tag($_POST['q']);
+    query($a . "=" . $b);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  EXPECT_EQ(R.ExploitInputs.size(), 2u);
+}
+
+TEST(InlineTest, LocalsDoNotCaptureCallerVariables) {
+  // The helper's local $t must not clobber the caller's $t.
+  AnalysisResult R = analyzeSource(R"(
+    function helper($v) {
+      $t = "inside";
+      return $v;
+    }
+    $t = $_POST['id'];
+    $u = helper("z9");
+    query($t . $u);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  // $t is still the input, so the exploit witness carries the quote.
+  EXPECT_NE(R.ExploitInputs.at("_POST:id").find('\''),
+            std::string::npos);
+}
+
+TEST(InlineTest, VoidCallSplicesChecks) {
+  // A bare call still contributes its body's checks to the path.
+  AnalysisResult R = analyzeSource(R"(
+    function ensure_digit($v) {
+      if (!preg_match('/[0-9]$/', $v)) { exit; }
+      return $v;
+    }
+    $x = $_POST['id'];
+    ensure_digit($x);
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  EXPECT_TRUE(isdigit(static_cast<unsigned char>(
+      R.ExploitInputs.at("_POST:id").back())));
+}
+
+TEST(InlineTest, RecursionIsRejected) {
+  AnalysisResult R = analyzeSource(R"(
+    function f($v) {
+      $w = f($v);
+      return $w;
+    }
+    $x = f($_POST['id']);
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  EXPECT_FALSE(R.ParseOk);
+  EXPECT_NE(R.ParseError.find("recursive"), std::string::npos);
+}
+
+TEST(InlineTest, NonTailReturnIsRejected) {
+  AnalysisResult R = analyzeSource(R"(
+    function f($v) {
+      if ($v == 'a') { return $v; }
+      return $v;
+    }
+    $x = f($_POST['id']);
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  EXPECT_FALSE(R.ParseOk);
+  EXPECT_NE(R.ParseError.find("return"), std::string::npos);
+}
+
+TEST(InlineTest, ArityMismatchIsRejected) {
+  AnalysisResult R = analyzeSource(R"(
+    function f($a, $b) { return $a; }
+    $x = f($_POST['id']);
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  EXPECT_FALSE(R.ParseOk);
+  EXPECT_NE(R.ParseError.find("argument"), std::string::npos);
+}
+
+TEST(InlineTest, ReturnOutsideFunctionIsRejected) {
+  AnalysisResult R =
+      analyzeSource("return $x;", AttackSpec::sqlQuote());
+  EXPECT_FALSE(R.ParseOk);
+}
+
+TEST(InlineTest, BodyWithoutReturnYieldsEmptyString) {
+  AnalysisResult R = analyzeSource(R"(
+    function log_it($v) {
+      unp_msgBox($v);
+    }
+    $x = log_it($_POST['id']);
+    query($x . $_POST['tail']);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  // $x is "", so only the tail can carry the quote.
+  ASSERT_TRUE(R.vulnerable());
+  EXPECT_NE(R.ExploitInputs.at("_POST:tail").find('\''),
+            std::string::npos);
+}
+
+TEST(InlineTest, FunctionWithLoopUnrollsAfterInlining) {
+  AnalysisOptions Opts;
+  Opts.LoopUnroll = 2;
+  AnalysisResult R = analyzeSource(R"(
+    function pad($v) {
+      while ($v != 'k') { $v = $v . "x"; }
+      return $v;
+    }
+    $p = pad($_GET['q']);
+    query($p . $_GET['z']);
+  )",
+                                   AttackSpec::sqlQuote(), Opts);
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_TRUE(R.vulnerable());
+  EXPECT_GT(R.SinkPaths, 1u);
+}

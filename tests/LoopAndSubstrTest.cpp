@@ -1,0 +1,193 @@
+//===- LoopAndSubstrTest.cpp - While unrolling & substring indexing -------===//
+
+#include "automata/NfaOps.h"
+#include "miniphp/Analysis.h"
+#include "miniphp/Parser.h"
+#include "miniphp/Unroll.h"
+#include "regex/RegexCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+//===----------------------------------------------------------------------===//
+// Bounded unrolling
+//===----------------------------------------------------------------------===//
+
+TEST(UnrollTest, WhileBecomesNestedIfs) {
+  ParseResult R = parseProgram(R"(
+    $x = $_GET['q'];
+    while ($x != 'stop') { $y = $x . 'i'; }
+    query($y);
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  Program U = unrollLoops(R.Prog, 2);
+  // Top level: assign, if (the unrolled loop), sink.
+  ASSERT_EQ(U.Body.size(), 3u);
+  const Stmt &Loop = *U.Body[1];
+  EXPECT_EQ(Loop.StmtKind, Stmt::Kind::If);
+  // Two body copies, then the residual guard whose then-branch exits.
+  ASSERT_EQ(Loop.Then.size(), 2u); // body stmt + nested if
+  const Stmt &Inner = *Loop.Then[1];
+  EXPECT_EQ(Inner.StmtKind, Stmt::Kind::If);
+  const Stmt &Residual = *Inner.Then[1];
+  EXPECT_EQ(Residual.StmtKind, Stmt::Kind::If);
+  ASSERT_EQ(Residual.Then.size(), 1u);
+  EXPECT_EQ(Residual.Then[0]->StmtKind, Stmt::Kind::Exit);
+}
+
+TEST(UnrollTest, NestedLoopsUnrollRecursively) {
+  ParseResult R = parseProgram(R"(
+    while ($a == 'x') { while ($b == 'y') { $c = 'z'; } }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  Program U = unrollLoops(R.Prog, 1);
+  std::function<bool(const std::vector<StmtPtr> &)> HasWhile =
+      [&](const std::vector<StmtPtr> &Body) {
+        for (const StmtPtr &S : Body) {
+          if (S->StmtKind == Stmt::Kind::While)
+            return true;
+          if (HasWhile(S->Then) || HasWhile(S->Else))
+            return true;
+        }
+        return false;
+      };
+  EXPECT_FALSE(HasWhile(U.Body));
+}
+
+TEST(UnrollTest, LoopBuiltStringReachesSink) {
+  // The loop appends "ab" each iteration; with unroll >= 2 an exploit
+  // needs two iterations: the sink requires the marker "abab'".
+  AnalysisOptions Opts;
+  Opts.LoopUnroll = 3;
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_GET['q'];
+    $acc = "";
+    while ($x != 'done') {
+      $acc = $acc . "ab";
+      $x = $_GET['next'];
+    }
+    query($acc . $_GET['tail']);
+  )",
+                                   AttackSpec::sqlQuote(), Opts);
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_TRUE(R.vulnerable());
+  EXPECT_GT(R.SinkPaths, 1u); // zero, one, ... iterations
+}
+
+TEST(UnrollTest, BoundLimitsIterations) {
+  // The sink is only reachable INSIDE the loop body after the condition
+  // held; with bound 0 the body is never entered.
+  const char *Source = R"(
+    $x = $_GET['q'];
+    while ($x == 'go') { query("k=" . $_GET['p']); $x = 'done'; }
+  )";
+  AnalysisOptions Zero;
+  Zero.LoopUnroll = 0;
+  EXPECT_EQ(analyzeSource(Source, AttackSpec::sqlQuote(), Zero).SinkPaths,
+            0u);
+  AnalysisOptions One;
+  One.LoopUnroll = 1;
+  AnalysisResult R = analyzeSource(Source, AttackSpec::sqlQuote(), One);
+  EXPECT_EQ(R.SinkPaths, 1u);
+  EXPECT_TRUE(R.vulnerable());
+}
+
+TEST(UnrollTest, CloneStmtIsDeep) {
+  ParseResult R = parseProgram(
+      "if ($a == 'x') { $b = 'y'; } else { exit; }");
+  ASSERT_TRUE(R.Ok);
+  StmtPtr Copy = cloneStmt(*R.Prog.Body[0]);
+  EXPECT_EQ(Copy->StmtKind, Stmt::Kind::If);
+  EXPECT_NE(Copy->Then[0].get(), R.Prog.Body[0]->Then[0].get());
+  EXPECT_EQ(Copy->Then[0]->Target, "b");
+  EXPECT_EQ(Copy->Else[0]->StmtKind, Stmt::Kind::Exit);
+}
+
+//===----------------------------------------------------------------------===//
+// substr conditions
+//===----------------------------------------------------------------------===//
+
+TEST(SubstrTest, ParsesAndConstrains) {
+  // The input must start with "nid_" (checked via substring indexing)
+  // and still carry a quote into the query.
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_POST['id'];
+    if (substr($x, 0, 4) != 'nid_') { exit; }
+    query("SELECT a WHERE id=" . $x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  const std::string &W = R.ExploitInputs.at("_POST:id");
+  EXPECT_EQ(W.substr(0, 4), "nid_");
+  EXPECT_NE(W.find('\''), std::string::npos);
+}
+
+TEST(SubstrTest, MidStringWindow) {
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_POST['id'];
+    if (substr($x, 2, 2) != 'ab') { exit; }
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  const std::string &W = R.ExploitInputs.at("_POST:id");
+  ASSERT_GE(W.size(), 4u);
+  EXPECT_EQ(W.substr(2, 2), "ab");
+}
+
+TEST(SubstrTest, ShortLiteralMeansStringEnds) {
+  // substr($x, 0, 8) == 'ab' can only hold if $x is exactly "ab" (PHP
+  // returns the whole remainder when the string is shorter than the
+  // window) — and "ab" has no quote, so no exploit exists.
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_POST['id'];
+    if (substr($x, 0, 8) != 'ab') { exit; }
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_FALSE(R.vulnerable());
+}
+
+TEST(SubstrTest, OverlongLiteralNeverMatches) {
+  // |lit| > window length: the check can never pass, so the sink is
+  // unreachable with a satisfying assignment.
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_POST['id'];
+    if (substr($x, 0, 2) != 'abc') { exit; }
+    query($x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_FALSE(R.vulnerable());
+}
+
+TEST(SubstrTest, TakenEqualityBranch) {
+  // Positive form: the then-branch requires the prefix.
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_POST['id'];
+    if (substr($x, 0, 1) == 'k') { query($x); } else { exit; }
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  EXPECT_EQ(R.ExploitInputs.at("_POST:id")[0], 'k');
+}
+
+TEST(SubstrTest, ParseErrors) {
+  EXPECT_FALSE(
+      analyzeSource("if (substr($x, a, 2) == 'y') { exit; }",
+                    AttackSpec::sqlQuote())
+          .ParseOk);
+  EXPECT_FALSE(
+      analyzeSource("if (substr($x, 0, 2) == $y) { exit; }",
+                    AttackSpec::sqlQuote())
+          .ParseOk);
+  EXPECT_FALSE(analyzeSource("if (substr($x, 0, 2) < 'y') { exit; }",
+                             AttackSpec::sqlQuote())
+                   .ParseOk);
+}

@@ -1,0 +1,100 @@
+//===- MatcherTest.cpp - Reference matcher unit tests ---------------------===//
+//
+// The reference matcher is the ground truth for the differential tests in
+// RegexSemanticsTest, so it gets direct unit coverage of its own.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Matcher.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+
+namespace {
+
+bool whole(const char *Pattern, const char *Str) {
+  RegexPtr Ast = parseRegexOrDie(Pattern);
+  return matchesWholeString(*Ast, Str);
+}
+
+bool somewhere(const char *Pattern, const char *Str) {
+  RegexPtr Ast = parseRegexOrDie(Pattern);
+  return matchesSomewhere(*Ast, Str);
+}
+
+} // namespace
+
+TEST(MatcherTest, Literals) {
+  EXPECT_TRUE(whole("abc", "abc"));
+  EXPECT_FALSE(whole("abc", "ab"));
+  EXPECT_FALSE(whole("abc", "abcd"));
+  EXPECT_TRUE(whole("", ""));
+  EXPECT_FALSE(whole("", "a"));
+}
+
+TEST(MatcherTest, Classes) {
+  EXPECT_TRUE(whole("[a-c]", "b"));
+  EXPECT_FALSE(whole("[a-c]", "d"));
+  EXPECT_FALSE(whole("[a-c]", "ab"));
+  EXPECT_FALSE(whole("[]", ""));
+}
+
+TEST(MatcherTest, Alternation) {
+  EXPECT_TRUE(whole("ab|cd", "cd"));
+  EXPECT_FALSE(whole("ab|cd", "ad"));
+  EXPECT_TRUE(whole("a||b", "")); // empty branch
+}
+
+TEST(MatcherTest, StarPlusOptional) {
+  EXPECT_TRUE(whole("a*", ""));
+  EXPECT_TRUE(whole("a*", "aaaa"));
+  EXPECT_FALSE(whole("a+", ""));
+  EXPECT_TRUE(whole("a?", "a"));
+  EXPECT_FALSE(whole("a?", "aa"));
+}
+
+TEST(MatcherTest, BoundedRepetition) {
+  EXPECT_FALSE(whole("a{2,3}", "a"));
+  EXPECT_TRUE(whole("a{2,3}", "aa"));
+  EXPECT_TRUE(whole("a{2,3}", "aaa"));
+  EXPECT_FALSE(whole("a{2,3}", "aaaa"));
+  EXPECT_TRUE(whole("(ab){2}", "abab"));
+}
+
+TEST(MatcherTest, EpsilonLoopsTerminate) {
+  // (a?)* and (()|a)* must terminate and match correctly despite the
+  // epsilon-matching bodies.
+  EXPECT_TRUE(whole("(a?)*", ""));
+  EXPECT_TRUE(whole("(a?)*", "aaa"));
+  EXPECT_TRUE(whole("(()|a)*", "aa"));
+  EXPECT_FALSE(whole("(a?)*", "b"));
+  EXPECT_TRUE(whole("()*", ""));
+}
+
+TEST(MatcherTest, NestedAmbiguity) {
+  // (aa|a)(a|aa) over "aaa": multiple derivations, one must succeed.
+  EXPECT_TRUE(whole("(aa|a)(a|aa)", "aaa"));
+  EXPECT_TRUE(whole("(aa|a)(a|aa)", "aaaa"));
+  EXPECT_FALSE(whole("(aa|a)(a|aa)", "a"));
+  EXPECT_FALSE(whole("(aa|a)(a|aa)", "aaaaa"));
+}
+
+TEST(MatcherTest, SearchSemantics) {
+  EXPECT_TRUE(somewhere("bc", "abcd"));
+  EXPECT_FALSE(somewhere("bd", "abcd"));
+  EXPECT_TRUE(somewhere("a*", "zzz")); // empty match always exists
+  EXPECT_TRUE(somewhere("z", "xyz"));
+  EXPECT_FALSE(somewhere("zz", "xyz"));
+}
+
+TEST(MatcherTest, LongInputPerformance) {
+  // The end-set representation avoids exponential backtracking on the
+  // classic (a|aa)* blowup input.
+  std::string Input(64, 'a');
+  RegexPtr Ast = parseRegexOrDie("(a|aa)*");
+  EXPECT_TRUE(matchesWholeString(*Ast, Input));
+  Input += 'b';
+  EXPECT_FALSE(matchesWholeString(*Ast, Input));
+}

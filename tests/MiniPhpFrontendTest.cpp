@@ -1,0 +1,184 @@
+//===- MiniPhpFrontendTest.cpp - Lexer, parser, and CFG tests -------------===//
+
+#include "miniphp/Cfg.h"
+#include "miniphp/Lexer.h"
+#include "miniphp/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle::miniphp;
+
+namespace {
+
+/// The motivating example of paper Figure 1, in mini-PHP.
+const char *Figure1Source = R"php(<?php
+$newsid = $_POST['posted_newsid'];
+if (!preg_match('/[\d]+$/', $newsid)) {
+  unp_msgBox('Invalid article news ID.');
+  exit;
+}
+$newsid = "nid_" . $newsid;
+$idnews = query("SELECT * FROM news " . "WHERE newsid=" . $newsid);
+?>)php";
+
+} // namespace
+
+TEST(MiniPhpLexerTest, TokenizesVariablesAndStrings) {
+  auto Tokens = tokenize("$x = 'a' . \"b\";");
+  ASSERT_GE(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].TokKind, Token::Kind::Variable);
+  EXPECT_EQ(Tokens[0].Text, "x");
+  EXPECT_EQ(Tokens[1].TokKind, Token::Kind::Assign);
+  EXPECT_EQ(Tokens[2].TokKind, Token::Kind::String);
+  EXPECT_EQ(Tokens[2].Text, "a");
+  EXPECT_EQ(Tokens[3].TokKind, Token::Kind::Dot);
+  EXPECT_EQ(Tokens.back().TokKind, Token::Kind::End);
+}
+
+TEST(MiniPhpLexerTest, SkipsCommentsAndPhpMarkers) {
+  auto Tokens = tokenize("<?php // c\n# d\n/* e\nf */ $x = 1; ?>");
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].TokKind, Token::Kind::Variable);
+  EXPECT_EQ(Tokens[2].TokKind, Token::Kind::Number);
+}
+
+TEST(MiniPhpLexerTest, TracksLineNumbers) {
+  auto Tokens = tokenize("$a = 1;\n$b = 2;");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[4].Line, 2u);
+}
+
+TEST(MiniPhpLexerTest, EscapesInStrings) {
+  auto Tokens = tokenize(R"($x = 'it\'s';)");
+  EXPECT_EQ(Tokens[2].Text, "it's");
+  auto Tokens2 = tokenize(R"($x = "a\nb";)");
+  EXPECT_EQ(Tokens2[2].Text, "a\nb");
+}
+
+TEST(MiniPhpLexerTest, ErrorsOnUnterminatedString) {
+  auto Tokens = tokenize("$x = 'oops");
+  EXPECT_EQ(Tokens.back().TokKind, Token::Kind::Error);
+}
+
+TEST(MiniPhpParserTest, ParsesFigure1) {
+  ParseResult R = parseProgram(Figure1Source);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Prog.Body.size(), 4u);
+  EXPECT_EQ(R.Prog.Body[0]->StmtKind, Stmt::Kind::Assign);
+  ASSERT_EQ(R.Prog.Body[0]->Value.size(), 1u);
+  EXPECT_EQ(R.Prog.Body[0]->Value[0].AtomKind, Atom::Kind::Input);
+  EXPECT_EQ(R.Prog.Body[0]->Value[0].Text, "posted_newsid");
+  EXPECT_EQ(R.Prog.Body[0]->Value[0].Source, "_POST");
+
+  EXPECT_EQ(R.Prog.Body[1]->StmtKind, Stmt::Kind::If);
+  const Condition &Cond = R.Prog.Body[1]->Cond;
+  EXPECT_TRUE(Cond.Negated);
+  EXPECT_EQ(Cond.CondKind, Condition::Kind::PregMatch);
+  EXPECT_EQ(Cond.Pattern, "[\\d]+$");
+
+  EXPECT_EQ(R.Prog.Body[2]->StmtKind, Stmt::Kind::Assign);
+  ASSERT_EQ(R.Prog.Body[2]->Value.size(), 2u);
+  EXPECT_EQ(R.Prog.Body[2]->Value[0].Text, "nid_");
+
+  EXPECT_EQ(R.Prog.Body[3]->StmtKind, Stmt::Kind::Sink);
+  EXPECT_EQ(R.Prog.Body[3]->Arg.size(), 3u);
+}
+
+TEST(MiniPhpParserTest, ParsesEqualityConditions) {
+  ParseResult R = parseProgram("if ($x == 'a') { exit; }\n"
+                               "if ('b' != $y) { exit; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Prog.Body[0]->Cond.CondKind, Condition::Kind::EqualsLiteral);
+  EXPECT_FALSE(R.Prog.Body[0]->Cond.Negated);
+  EXPECT_EQ(R.Prog.Body[0]->Cond.Literal, "a");
+  EXPECT_TRUE(R.Prog.Body[1]->Cond.Negated);
+  EXPECT_EQ(R.Prog.Body[1]->Cond.Literal, "b");
+}
+
+TEST(MiniPhpParserTest, ParsesIfElse) {
+  ParseResult R = parseProgram(
+      "if (preg_match('/a/', $x)) { $y = 'p'; } else { $y = 'q'; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Prog.Body[0]->Then.size(), 1u);
+  EXPECT_EQ(R.Prog.Body[0]->Else.size(), 1u);
+}
+
+TEST(MiniPhpParserTest, OpaqueCallsAndExitVariants) {
+  ParseResult R = parseProgram("unp_msgBox('hello', $x);\ndie('bye');");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Prog.Body[0]->StmtKind, Stmt::Kind::Call);
+  EXPECT_EQ(R.Prog.Body[1]->StmtKind, Stmt::Kind::Exit);
+}
+
+TEST(MiniPhpParserTest, MysqlQueryIsASink) {
+  ParseResult R = parseProgram("mysql_query('SELECT 1' . $_GET['q']);");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Prog.Body[0]->StmtKind, Stmt::Kind::Sink);
+}
+
+TEST(MiniPhpParserTest, ReportsErrors) {
+  EXPECT_FALSE(parseProgram("$x = ;").Ok);
+  EXPECT_FALSE(parseProgram("if ($x) { }").Ok); // no relational operator
+  EXPECT_FALSE(parseProgram("$_POST = 'x';").Ok);
+  // preg_match patterns must carry / delimiters when used as conditions.
+  EXPECT_FALSE(parseProgram("if (preg_match('nope', $x)) { exit; }").Ok);
+  ParseResult R = parseProgram("$x = $_POST['k'];\n$y = $x .;");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.ErrorLine, 2u);
+}
+
+TEST(MiniPhpCfgTest, StraightLineIsOneBlock) {
+  ParseResult R = parseProgram("$a = 'x';\n$b = $a . 'y';\nquery($b);");
+  ASSERT_TRUE(R.Ok);
+  Cfg G = Cfg::build(R.Prog);
+  EXPECT_EQ(G.numBlocks(), 1u);
+  EXPECT_EQ(G.block(0).Stmts.size(), 3u);
+}
+
+TEST(MiniPhpCfgTest, IfWithoutElseAddsTwoBlocks) {
+  ParseResult R = parseProgram(
+      "if (preg_match('/a/', $x)) { exit; }\n$y = 'z';");
+  ASSERT_TRUE(R.Ok);
+  Cfg G = Cfg::build(R.Prog);
+  EXPECT_EQ(G.numBlocks(), 3u); // entry, then, join
+  EXPECT_EQ(G.block(G.entry()).Succs.size(), 2u);
+}
+
+TEST(MiniPhpCfgTest, IfElseAddsThreeBlocks) {
+  ParseResult R = parseProgram(
+      "if (preg_match('/a/', $x)) { $y = 'p'; } else { $y = 'q'; }\n"
+      "query($y);");
+  ASSERT_TRUE(R.Ok);
+  Cfg G = Cfg::build(R.Prog);
+  EXPECT_EQ(G.numBlocks(), 4u); // entry, then, else, join
+}
+
+TEST(MiniPhpCfgTest, Figure1HasThreeBlocks) {
+  ParseResult R = parseProgram(Figure1Source);
+  ASSERT_TRUE(R.Ok);
+  Cfg G = Cfg::build(R.Prog);
+  // entry (+cond), then (exit), join (concat + sink).
+  EXPECT_EQ(G.numBlocks(), 3u);
+}
+
+TEST(MiniPhpCfgTest, ExitBlockHasNoSuccessors) {
+  ParseResult R = parseProgram("if ($x == 'a') { exit; }\nexit;");
+  ASSERT_TRUE(R.Ok);
+  Cfg G = Cfg::build(R.Prog);
+  const BasicBlock &Then = G.block(G.block(G.entry()).Succs[0]);
+  EXPECT_TRUE(Then.Succs.empty());
+}
+
+TEST(MiniPhpCfgTest, NestedIfCounts) {
+  ParseResult R = parseProgram(R"(
+    if (preg_match('/a/', $x)) {
+      if (preg_match('/b/', $x)) { exit; }
+      $y = 'w';
+    }
+    query($x);
+  )");
+  ASSERT_TRUE(R.Ok);
+  Cfg G = Cfg::build(R.Prog);
+  // entry, then-head, inner-then, inner-join, outer-join = 5.
+  EXPECT_EQ(G.numBlocks(), 5u);
+}

@@ -1,0 +1,193 @@
+//===- NfaTest.cpp - Unit tests for the Nfa class -------------------------===//
+
+#include "automata/Nfa.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+
+TEST(NfaTest, DefaultIsEmptyLanguage) {
+  Nfa M;
+  EXPECT_EQ(M.numStates(), 1u);
+  EXPECT_TRUE(M.languageIsEmpty());
+  EXPECT_FALSE(M.accepts(""));
+  EXPECT_FALSE(M.accepts("a"));
+}
+
+TEST(NfaTest, EpsilonLanguageAcceptsOnlyEmptyString) {
+  Nfa M = Nfa::epsilonLanguage();
+  EXPECT_TRUE(M.accepts(""));
+  EXPECT_FALSE(M.accepts("a"));
+  EXPECT_TRUE(M.acceptsEpsilon());
+}
+
+TEST(NfaTest, LiteralAcceptsExactlyThatString) {
+  Nfa M = Nfa::literal("nid_");
+  EXPECT_TRUE(M.accepts("nid_"));
+  EXPECT_FALSE(M.accepts("nid"));
+  EXPECT_FALSE(M.accepts("nid_x"));
+  EXPECT_FALSE(M.accepts(""));
+  EXPECT_EQ(M.numStates(), 5u);
+}
+
+TEST(NfaTest, LiteralOfEmptyStringIsEpsilon) {
+  Nfa M = Nfa::literal("");
+  EXPECT_TRUE(M.accepts(""));
+  EXPECT_FALSE(M.accepts("x"));
+}
+
+TEST(NfaTest, FromCharSetAcceptsSingleSymbols) {
+  Nfa M = Nfa::fromCharSet(CharSet::range('0', '9'));
+  EXPECT_TRUE(M.accepts("5"));
+  EXPECT_FALSE(M.accepts("a"));
+  EXPECT_FALSE(M.accepts("55"));
+  EXPECT_FALSE(M.accepts(""));
+}
+
+TEST(NfaTest, FromEmptyCharSetIsEmptyLanguage) {
+  Nfa M = Nfa::fromCharSet(CharSet());
+  EXPECT_TRUE(M.languageIsEmpty());
+}
+
+TEST(NfaTest, SigmaStarAcceptsEverything) {
+  Nfa M = Nfa::sigmaStar();
+  EXPECT_TRUE(M.accepts(""));
+  EXPECT_TRUE(M.accepts("anything at all"));
+  EXPECT_TRUE(M.accepts(std::string("\x00\xff\x7f", 3)));
+}
+
+TEST(NfaTest, EpsilonTransitionsAreFollowed) {
+  Nfa M;
+  StateId A = M.start();
+  StateId B = M.addState();
+  StateId C = M.addState();
+  M.addEpsilon(A, B);
+  M.addTransition(B, CharSet::singleton('x'), C);
+  M.setAccepting(C);
+  EXPECT_TRUE(M.accepts("x"));
+  EXPECT_FALSE(M.accepts(""));
+}
+
+TEST(NfaTest, EpsilonClosureIsTransitive) {
+  Nfa M;
+  StateId A = M.start();
+  StateId B = M.addState();
+  StateId C = M.addState();
+  M.addEpsilon(A, B);
+  M.addEpsilon(B, C);
+  std::vector<StateId> Set = {A};
+  M.epsilonClosure(Set);
+  EXPECT_EQ(Set, (std::vector<StateId>{A, B, C}));
+}
+
+TEST(NfaTest, TrimRemovesUnreachableAndDeadStates) {
+  Nfa M = Nfa::literal("ab");
+  StateId Dead = M.addState();
+  M.addTransition(M.start(), CharSet::singleton('z'), Dead);
+  StateId Unreachable = M.addState();
+  M.setAccepting(Unreachable);
+  Nfa T = M.trimmed();
+  EXPECT_EQ(T.numStates(), 3u);
+  EXPECT_TRUE(T.accepts("ab"));
+  EXPECT_FALSE(T.accepts("z"));
+}
+
+TEST(NfaTest, TrimOfEmptyLanguageYieldsSingleState) {
+  Nfa M = Nfa::literal("abc");
+  // Remove acceptance: language becomes empty.
+  for (StateId S = 0; S != M.numStates(); ++S)
+    M.setAccepting(S, false);
+  Nfa T = M.trimmed();
+  EXPECT_EQ(T.numStates(), 1u);
+  EXPECT_TRUE(T.languageIsEmpty());
+}
+
+TEST(NfaTest, TrimReportsStateMapping) {
+  Nfa M = Nfa::literal("a");
+  StateId Dead = M.addState();
+  M.addTransition(M.start(), CharSet::singleton('q'), Dead);
+  std::vector<StateId> Map;
+  Nfa T = M.trimmed(&Map);
+  EXPECT_EQ(Map.size(), M.numStates());
+  EXPECT_EQ(Map[Dead], InvalidState);
+  EXPECT_NE(Map[M.start()], InvalidState);
+  EXPECT_TRUE(T.accepts("a"));
+}
+
+TEST(NfaTest, WithSingleAcceptingPreservesLanguage) {
+  Nfa M;
+  StateId B = M.addState();
+  StateId C = M.addState();
+  M.addTransition(M.start(), CharSet::singleton('a'), B);
+  M.addTransition(M.start(), CharSet::singleton('b'), C);
+  M.setAccepting(B);
+  M.setAccepting(C);
+  StateId Final = InvalidState;
+  Nfa N = M.withSingleAccepting(&Final);
+  EXPECT_EQ(N.numAccepting(), 1u);
+  EXPECT_EQ(N.singleAccepting(), Final);
+  EXPECT_TRUE(N.accepts("a"));
+  EXPECT_TRUE(N.accepts("b"));
+  EXPECT_FALSE(N.accepts("ab"));
+}
+
+TEST(NfaTest, WithSingleAcceptingIsIdentityWhenAlreadySingle) {
+  Nfa M = Nfa::literal("xy");
+  StateId Final = InvalidState;
+  Nfa N = M.withSingleAccepting(&Final);
+  EXPECT_EQ(N.numStates(), M.numStates());
+  EXPECT_EQ(Final, M.singleAccepting());
+}
+
+TEST(NfaTest, InducedFromStartAndFinal) {
+  Nfa M = Nfa::literal("abc");
+  // After consuming "a" we are in state 1; induce from there: "bc".
+  Nfa FromMid = M.inducedFromStart(1);
+  EXPECT_TRUE(FromMid.accepts("bc"));
+  EXPECT_FALSE(FromMid.accepts("abc"));
+  // Induce with state 1 as the only final: language is "a".
+  Nfa ToMid = M.inducedFromFinal(1);
+  EXPECT_TRUE(ToMid.accepts("a"));
+  EXPECT_FALSE(ToMid.accepts("abc"));
+}
+
+TEST(NfaTest, ReversedLanguage) {
+  Nfa M = Nfa::literal("abc");
+  Nfa R = M.reversed();
+  EXPECT_TRUE(R.accepts("cba"));
+  EXPECT_FALSE(R.accepts("abc"));
+}
+
+TEST(NfaTest, MarkerInstancesAreTracked) {
+  Nfa M;
+  StateId B = M.addState();
+  StateId C = M.addState();
+  M.addEpsilon(M.start(), B, 7);
+  M.addEpsilon(B, C, 7);
+  M.addEpsilon(M.start(), C); // unmarked
+  M.setAccepting(C);
+  auto Instances = M.markerInstances(7);
+  ASSERT_EQ(Instances.size(), 2u);
+  EXPECT_EQ(Instances[0].From, M.start());
+  EXPECT_EQ(Instances[0].To, B);
+  auto Markers = M.markersUsed();
+  ASSERT_EQ(Markers.size(), 1u);
+  EXPECT_EQ(Markers[0], 7);
+}
+
+TEST(NfaTest, WithoutMarkersClearsMarkers) {
+  Nfa M;
+  StateId B = M.addState();
+  M.addEpsilon(M.start(), B, 3);
+  M.setAccepting(B);
+  Nfa Clean = M.withoutMarkers();
+  EXPECT_TRUE(Clean.markersUsed().empty());
+  EXPECT_TRUE(Clean.accepts(""));
+}
+
+TEST(NfaTest, CountsTransitions) {
+  Nfa M = Nfa::literal("ab");
+  M.addEpsilon(0, 0);
+  EXPECT_EQ(M.numTransitions(), 3u);
+  EXPECT_EQ(M.numEpsilonTransitions(), 1u);
+}

@@ -1,0 +1,90 @@
+//===- PrintTest.cpp - Automata and graph printer tests -------------------===//
+
+#include "automata/NfaOps.h"
+#include "automata/Print.h"
+#include "miniphp/Cfg.h"
+#include "miniphp/Parser.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace dprle;
+
+TEST(PrintTest, TextualListingShape) {
+  Nfa M = Nfa::literal("ab");
+  std::string Text = toString(M);
+  EXPECT_NE(Text.find("states: 3"), std::string::npos);
+  EXPECT_NE(Text.find("start: 0"), std::string::npos);
+  EXPECT_NE(Text.find("accepting: {2}"), std::string::npos);
+  EXPECT_NE(Text.find("0 -> 1 on a"), std::string::npos);
+  EXPECT_NE(Text.find("1 -> 2 on b"), std::string::npos);
+}
+
+TEST(PrintTest, NamedListing) {
+  std::ostringstream Os;
+  printNfa(Os, Nfa::epsilonLanguage(), "eps");
+  EXPECT_EQ(Os.str().rfind("nfa eps {", 0), 0u);
+}
+
+TEST(PrintTest, MarkedEpsilonsAnnotated) {
+  Nfa M = concat(Nfa::literal("a"), Nfa::literal("b"), 5);
+  std::string Text = toString(M);
+  EXPECT_NE(Text.find("eps#5"), std::string::npos);
+}
+
+TEST(PrintTest, DotOutputIsWellFormed) {
+  Nfa M = alternate(Nfa::literal("x"), Nfa::literal("y"));
+  std::ostringstream Os;
+  printNfaDot(Os, M, "g");
+  std::string Dot = Os.str();
+  EXPECT_EQ(Dot.rfind("digraph g {", 0), 0u);
+  EXPECT_NE(Dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(Dot.find("__start"), std::string::npos);
+  EXPECT_EQ(Dot.back(), '\n');
+  // Balanced braces.
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+TEST(PrintTest, DfaListing) {
+  Dfa D = determinize(Nfa::literal("a"));
+  std::ostringstream Os;
+  printDfa(Os, D, "d");
+  std::string Text = Os.str();
+  EXPECT_NE(Text.find("dfa d {"), std::string::npos);
+  EXPECT_NE(Text.find("classes:"), std::string::npos);
+  EXPECT_NE(Text.find("[accept]"), std::string::npos);
+}
+
+TEST(PrintTest, CfgDotOutput) {
+  auto R = miniphp::parseProgram(
+      "if ($x == 'a') { exit; }\nquery($_GET['q']);");
+  ASSERT_TRUE(R.Ok);
+  miniphp::Cfg G = miniphp::Cfg::build(R.Prog);
+  std::ostringstream Os;
+  G.printDot(Os);
+  std::string Dot = Os.str();
+  EXPECT_EQ(Dot.rfind("digraph cfg {", 0), 0u);
+  EXPECT_NE(Dot.find("b0 -> b1"), std::string::npos);
+}
+
+TEST(RegexAstPrintTest, PrecedenceRoundTrips) {
+  // str() must parse back to an equivalent language for tricky nestings.
+  for (const char *Pattern :
+       {"(ab)*", "(a|b)c", "a(b|c)", "(a*)*", "a{2,3}b", "(abc){2}",
+        "x|yz|w", "((a))"}) {
+    RegexPtr Ast = parseRegexOrDie(Pattern);
+    std::string Printed = Ast->str();
+    RegexParseResult R2 = parseRegex(Printed);
+    ASSERT_TRUE(R2.ok()) << Pattern << " -> " << Printed;
+  }
+}
+
+TEST(RegexAstPrintTest, CloneIsDeepAndEqual) {
+  RegexPtr Ast = parseRegexOrDie("a(b|c{2,4})*[x-z]");
+  RegexPtr Copy = RegexNode::clone(*Ast);
+  EXPECT_EQ(Ast->str(), Copy->str());
+  EXPECT_NE(Ast.get(), Copy.get());
+}

@@ -1,0 +1,110 @@
+//===- RobustnessTest.cpp - Failure injection across the front ends -------===//
+//
+// Feeds randomized garbage and truncated valid inputs into every parser
+// in the repository (regex, constraint files, mini-PHP, serialized
+// automata). The property is simply: no crash, and failures are reported
+// through the result types, never by aborting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Serialize.h"
+#include "miniphp/Parser.h"
+#include "regex/RegexParser.h"
+#include "solver/ConstraintParser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace dprle;
+
+namespace {
+
+std::string randomGarbage(std::mt19937 &Rng, size_t MaxLen,
+                          const std::string &Alphabet) {
+  std::uniform_int_distribution<size_t> LenDist(0, MaxLen);
+  std::uniform_int_distribution<size_t> CharDist(0, Alphabet.size() - 1);
+  std::string Out;
+  size_t Len = LenDist(Rng);
+  for (size_t I = 0; I != Len; ++I)
+    Out += Alphabet[CharDist(Rng)];
+  return Out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(FuzzTest, RegexParserNeverCrashes) {
+  std::mt19937 Rng(GetParam() * 31337 + 1);
+  const std::string Alphabet = "ab()[]{}|*+?\\^$-.,0123456789dswxDSW";
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = randomGarbage(Rng, 24, Alphabet);
+    RegexParseResult R = parseRegex(Input);
+    if (!R.ok()) {
+      EXPECT_FALSE(R.Error.empty());
+      EXPECT_LE(R.ErrorPos, Input.size());
+    }
+  }
+}
+
+TEST_P(FuzzTest, ConstraintParserNeverCrashes) {
+  std::mt19937 Rng(GetParam() * 7001 + 3);
+  const std::string Alphabet = "var let<=.;,()/\"' abxyz0123#\n:";
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = randomGarbage(Rng, 64, Alphabet);
+    ConstraintParseResult R = parseConstraintText(Input);
+    if (!R.Ok) {
+      EXPECT_FALSE(R.Error.empty());
+    }
+  }
+}
+
+TEST_P(FuzzTest, MiniPhpParserNeverCrashes) {
+  std::mt19937 Rng(GetParam() * 911 + 7);
+  const std::string Alphabet =
+      "$ifelse exit query preg_match strlen(){};=!<>.'\"abc0123_\n";
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = randomGarbage(Rng, 96, Alphabet);
+    miniphp::ParseResult R = miniphp::parseProgram(Input);
+    if (!R.Ok) {
+      EXPECT_FALSE(R.Error.empty());
+    }
+  }
+}
+
+TEST_P(FuzzTest, NfaParserNeverCrashes) {
+  std::mt19937 Rng(GetParam() * 131 + 11);
+  const std::string Alphabet = "nfa{}states:,accepting->oneps#0123456789 \n[]";
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = randomGarbage(Rng, 96, Alphabet);
+    NfaParseResult R = parseNfa(Input);
+    if (!R.ok()) {
+      EXPECT_FALSE(R.Error.empty());
+    }
+  }
+}
+
+TEST_P(FuzzTest, TruncatedValidInputsFailGracefully) {
+  // Take valid documents and truncate at every prefix length.
+  const std::string ValidRegex = "a(b|c){2,4}[x-z]+\\d$";
+  for (size_t Len = 0; Len <= ValidRegex.size(); ++Len)
+    (void)parseRegex(ValidRegex.substr(0, Len));
+
+  const std::string ValidConstraint =
+      "var v;\nlet c := search(/[ab]+/);\nv . \"x\" <= c;\n";
+  for (size_t Len = 0; Len <= ValidConstraint.size(); ++Len)
+    (void)parseConstraintText(ValidConstraint.substr(0, Len));
+
+  const std::string ValidPhp = "$x = $_POST['k'];\nif (!preg_match('/a/', "
+                               "$x)) { exit; }\nquery($x);\n";
+  for (size_t Len = 0; Len <= ValidPhp.size(); ++Len)
+    (void)miniphp::parseProgram(ValidPhp.substr(0, Len));
+
+  const std::string ValidNfa = serializeNfa(Nfa::literal("abc"), "m");
+  for (size_t Len = 0; Len <= ValidNfa.size(); ++Len)
+    (void)parseNfa(ValidNfa.substr(0, Len));
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(1u, 16u));

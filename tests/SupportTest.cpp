@@ -1,0 +1,115 @@
+//===- SupportTest.cpp - Support library unit tests -----------------------===//
+
+#include "support/Debug.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+
+TEST(StringUtilsTest, EscapeCharPrintable) {
+  EXPECT_EQ(escapeChar('a'), "a");
+  EXPECT_EQ(escapeChar('Z'), "Z");
+  EXPECT_EQ(escapeChar(' '), " ");
+}
+
+TEST(StringUtilsTest, EscapeCharMetachars) {
+  EXPECT_EQ(escapeChar('*'), "\\*");
+  EXPECT_EQ(escapeChar('\\'), "\\\\");
+  EXPECT_EQ(escapeChar('-'), "\\-");
+  EXPECT_EQ(escapeChar('$'), "\\$");
+}
+
+TEST(StringUtilsTest, EscapeCharNonPrintable) {
+  EXPECT_EQ(escapeChar('\n'), "\\x0a");
+  EXPECT_EQ(escapeChar('\0'), "\\x00");
+  EXPECT_EQ(escapeChar(0xff), "\\xff");
+}
+
+TEST(StringUtilsTest, EscapeString) {
+  EXPECT_EQ(escapeString("a+b"), "a\\+b");
+}
+
+TEST(StringUtilsTest, QuoteString) {
+  EXPECT_EQ(quoteString("hi"), "\"hi\"");
+  EXPECT_EQ(quoteString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(quoteString("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(quoteString(std::string("\x01", 1)), "\"\\x01\"");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtilsTest, ParseDecimal) {
+  size_t Pos = 0;
+  EXPECT_EQ(parseDecimal("123abc", Pos), 123);
+  EXPECT_EQ(Pos, 3u);
+  Pos = 0;
+  EXPECT_EQ(parseDecimal("abc", Pos), -1);
+  EXPECT_EQ(Pos, 0u);
+  Pos = 1;
+  EXPECT_EQ(parseDecimal("a42", Pos), 42);
+}
+
+TEST(StringUtilsTest, IsRegexMetaChar) {
+  for (char C : std::string("\\.*+?()[]{}|^$-"))
+    EXPECT_TRUE(isRegexMetaChar(C)) << C;
+  EXPECT_FALSE(isRegexMetaChar('a'));
+  EXPECT_FALSE(isRegexMetaChar('_'));
+}
+
+TEST(UnionFindTest, SingletonsAreDistinct) {
+  UnionFind UF(4);
+  EXPECT_NE(UF.find(0), UF.find(1));
+  EXPECT_FALSE(UF.connected(2, 3));
+}
+
+TEST(UnionFindTest, MergeConnects) {
+  UnionFind UF(5);
+  UF.merge(0, 1);
+  UF.merge(1, 2);
+  EXPECT_TRUE(UF.connected(0, 2));
+  EXPECT_FALSE(UF.connected(0, 3));
+}
+
+TEST(UnionFindTest, MergeIsIdempotent) {
+  UnionFind UF(3);
+  size_t R1 = UF.merge(0, 1);
+  size_t R2 = UF.merge(0, 1);
+  EXPECT_EQ(R1, R2);
+}
+
+TEST(UnionFindTest, TransitiveComponents) {
+  UnionFind UF(10);
+  for (size_t I = 0; I + 2 < 10; I += 2)
+    UF.merge(I, I + 2); // evens together
+  EXPECT_TRUE(UF.connected(0, 8));
+  EXPECT_FALSE(UF.connected(0, 1));
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  volatile unsigned long Sum = 0;
+  for (unsigned long I = 0; I != 1000000; ++I)
+    Sum = Sum + I;
+  (void)Sum;
+  EXPECT_GT(T.seconds(), 0.0);
+  EXPECT_NEAR(T.milliseconds(), T.seconds() * 1000.0,
+              T.seconds() * 1000.0 * 0.5);
+  double Before = T.seconds();
+  T.reset();
+  EXPECT_LT(T.seconds(), Before + 1.0);
+}
+
+TEST(DebugTest, DisabledWithoutEnv) {
+  // The test binary does not set DPRLE_DEBUG; the component must be off
+  // (if a developer runs tests with DPRLE_DEBUG set, skip).
+  if (getenv("DPRLE_DEBUG") != nullptr)
+    GTEST_SKIP();
+  EXPECT_FALSE(isDebugEnabled("gci"));
+}

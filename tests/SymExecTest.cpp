@@ -1,0 +1,277 @@
+//===- SymExecTest.cpp - Symbolic execution and end-to-end analysis -------===//
+//
+// Validates the evaluation pipeline of paper Section 4 on the motivating
+// example and on structured variations: constraint generation, path
+// feasibility, exploit witness production.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniphp/Analysis.h"
+#include "miniphp/Parser.h"
+#include "automata/NfaOps.h"
+#include "regex/RegexCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+namespace {
+
+const char *Figure1Source = R"php(<?php
+$newsid = $_POST['posted_newsid'];
+if (!preg_match('/[\d]+$/', $newsid)) {
+  unp_msgBox('Invalid article news ID.');
+  exit;
+}
+$newsid = "nid_" . $newsid;
+$idnews = query("SELECT * FROM news " . "WHERE newsid=" . $newsid);
+?>)php";
+
+} // namespace
+
+TEST(SymExecTest, Figure1GeneratesOneSinkPath) {
+  ParseResult R = parseProgram(Figure1Source);
+  ASSERT_TRUE(R.Ok);
+  Cfg G = Cfg::build(R.Prog);
+  auto Paths = enumerateSinkPaths(R.Prog, G, AttackSpec::sqlQuote());
+  ASSERT_EQ(Paths.size(), 1u);
+  const PathCondition &PC = Paths.front();
+  // One input variable: _POST:posted_newsid.
+  ASSERT_EQ(PC.InputVariables.size(), 1u);
+  EXPECT_TRUE(PC.InputVariables.count("_POST:posted_newsid"));
+  // Constraints: filter (1 term) + sink ("SELECT..." . "WHERE..." .
+  // "nid_" . input = 4 terms) => |C| = 1 + 4 = 5.
+  EXPECT_EQ(PC.NumConstraints, 5u);
+}
+
+TEST(SymExecTest, Figure1ExploitGeneration) {
+  AnalysisResult R =
+      analyzeSource(Figure1Source, AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_EQ(R.NumBlocks, 3u);
+  EXPECT_EQ(R.SinkPaths, 1u);
+  ASSERT_TRUE(R.vulnerable());
+
+  // The generated testcase must pass the faulty filter and carry a quote
+  // into the query.
+  const std::string &Exploit = R.ExploitInputs.at("_POST:posted_newsid");
+  EXPECT_TRUE(searchLanguage("[\\d]+$").accepts(Exploit));
+  EXPECT_NE(Exploit.find('\''), std::string::npos);
+}
+
+TEST(SymExecTest, FixedFilterIsNotVulnerable) {
+  // Paper Section 2: "if the program were fixed to use proper filtering,
+  // our algorithm would indicate ... that there is no bug."
+  std::string Fixed(Figure1Source);
+  size_t At = Fixed.find("/[\\d]+$/");
+  ASSERT_NE(At, std::string::npos);
+  Fixed.replace(At, 8, "/^[\\d]+$/");
+  AnalysisResult R = analyzeSource(Fixed, AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_EQ(R.SinkPaths, 1u);
+  EXPECT_FALSE(R.vulnerable());
+}
+
+TEST(SymExecTest, BothBranchesAreExplored) {
+  // The sink is reachable on both branch outcomes; two sink paths.
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_GET['q'];
+    if (preg_match('/^a/', $x)) { $y = 'p' . $x; } else { $y = $x; }
+    query($y);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_EQ(R.SinkPaths, 2u);
+  EXPECT_TRUE(R.vulnerable());
+}
+
+TEST(SymExecTest, InfeasiblePathIsRuledOut) {
+  // The then-branch requires $x to both equal 'safe' and contain a quote
+  // at the sink: unsatisfiable. The else branch has no sink.
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_GET['q'];
+    if ($x == 'safe') { query("k=" . $x); } else { exit; }
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_EQ(R.SinkPaths, 1u);
+  EXPECT_FALSE(R.vulnerable());
+}
+
+TEST(SymExecTest, EqualityConstraintFeedsWitness) {
+  // $x must equal a'b to reach the sink; the witness is forced.
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_GET['q'];
+    if ($x != "a'b") { exit; }
+    query("k=" . $x);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  EXPECT_EQ(R.ExploitInputs.at("_GET:q"), "a'b");
+}
+
+TEST(SymExecTest, SameInputReadTwiceIsOneVariable) {
+  AnalysisResult R = analyzeSource(R"(
+    $a = $_POST['k'];
+    $b = $_POST['k'];
+    if (!preg_match('/x$/', $a)) { exit; }
+    query($a . "=" . $b);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  EXPECT_EQ(R.ExploitInputs.size(), 1u);
+  // The single witness must satisfy the filter; the quote may appear
+  // in either occurrence since both are the same string.
+  const std::string &W = R.ExploitInputs.at("_POST:k");
+  EXPECT_TRUE(searchLanguage("x$").accepts(W));
+  EXPECT_NE(W.find('\''), std::string::npos);
+}
+
+TEST(SymExecTest, MultipleInputsEachGetWitnesses) {
+  AnalysisResult R = analyzeSource(R"(
+    $a = $_POST['u'];
+    $b = $_POST['v'];
+    if (!preg_match('/^[0-9]+$/', $a)) { exit; }
+    if (!preg_match('/[0-9]$/', $b)) { exit; }
+    query("SELECT x WHERE u=" . $a . " AND v=" . $b);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  const std::string &A = R.ExploitInputs.at("_POST:u");
+  const std::string &B = R.ExploitInputs.at("_POST:v");
+  EXPECT_TRUE(searchLanguage("^[0-9]+$").accepts(A));
+  EXPECT_TRUE(searchLanguage("[0-9]$").accepts(B));
+  // Only $b can carry the quote ($a is digits-only).
+  EXPECT_EQ(A.find('\''), std::string::npos);
+  EXPECT_NE(B.find('\''), std::string::npos);
+}
+
+TEST(SymExecTest, UnassignedVariableIsEmptyString) {
+  AnalysisResult R = analyzeSource("query($never . \"=1\");",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_EQ(R.SinkPaths, 1u);
+  EXPECT_FALSE(R.vulnerable()); // "" . "=1" never contains a quote
+}
+
+TEST(SymExecTest, NoSinkMeansNoPaths) {
+  AnalysisResult R = analyzeSource("$x = $_GET['a'];\n$y = $x . 'b';",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk);
+  EXPECT_EQ(R.SinkPaths, 0u);
+  EXPECT_FALSE(R.vulnerable());
+}
+
+TEST(SymExecTest, MaxPathsCapsExploration) {
+  // 8 consecutive two-way branches before the sink: 256 paths.
+  std::string Source = "$x = $_GET['q'];\n";
+  for (int I = 0; I != 8; ++I)
+    Source += "if (preg_match('/a" + std::to_string(I) +
+              "/', $x)) { $y" + std::to_string(I) + " = 'k'; }\n";
+  Source += "query($x);\n";
+  AnalysisOptions Opts;
+  Opts.SymExec.MaxPaths = 10;
+  AnalysisResult R =
+      analyzeSource(Source, AttackSpec::sqlQuote(), Opts);
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_EQ(R.SinkPaths, 10u);
+}
+
+TEST(SymExecTest, GetAndPostAreDistinctInputs) {
+  AnalysisResult R = analyzeSource(R"(
+    query($_GET['k'] . $_POST['k']);
+  )",
+                                   AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  EXPECT_EQ(R.ExploitInputs.size(), 2u);
+}
+
+TEST(SymExecTest, EchoSinkWithXssSpec) {
+  const char *Page = R"(
+    $c = $_POST['comment'];
+    if (!preg_match('/^\w/', $c)) { exit; }
+    echo "<div>" . $c . "</div>";
+  )";
+  AnalysisResult R = analyzeSource(Page, AttackSpec::xssScriptTag());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  ASSERT_TRUE(R.vulnerable());
+  const std::string &W = R.ExploitInputs.at("_POST:comment");
+  EXPECT_NE(W.find("<script"), std::string::npos);
+  EXPECT_TRUE(searchLanguage("^\\w").accepts(W));
+}
+
+TEST(SymExecTest, AttackSpecFiltersSinksByCallee) {
+  // A page with only an echo sink has no SQL attack surface, and vice
+  // versa.
+  const char *EchoOnly = "echo $_GET['x'];";
+  EXPECT_EQ(analyzeSource(EchoOnly, AttackSpec::sqlQuote()).SinkPaths, 0u);
+  EXPECT_EQ(analyzeSource(EchoOnly, AttackSpec::xssScriptTag()).SinkPaths,
+            1u);
+  const char *QueryOnly = "query($_GET['x']);";
+  EXPECT_EQ(analyzeSource(QueryOnly, AttackSpec::sqlQuote()).SinkPaths, 1u);
+  EXPECT_EQ(analyzeSource(QueryOnly, AttackSpec::xssScriptTag()).SinkPaths,
+            0u);
+}
+
+TEST(SymExecTest, HtmlEscapedEchoIsSafe) {
+  // If the check forbids '<' entirely, no script tag can get through.
+  const char *Page = R"(
+    $c = $_POST['comment'];
+    if (preg_match('/</', $c)) { exit; }
+    echo $c;
+  )";
+  AnalysisResult R = analyzeSource(Page, AttackSpec::xssScriptTag());
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_FALSE(R.vulnerable());
+}
+
+TEST(SymExecTest, AllVulnerablePathsCountedWhenRequested) {
+  // Two sinks on one path; with StopAtFirstVulnerability=false and
+  // StopAtFirstSink=false both are found vulnerable.
+  AnalysisOptions Opts;
+  Opts.StopAtFirstVulnerability = false;
+  Opts.SymExec.StopAtFirstSink = false;
+  AnalysisResult R = analyzeSource(R"(
+    $x = $_GET['q'];
+    query("a=" . $x);
+    query("b=" . $x);
+  )",
+                                   AttackSpec::sqlQuote(), Opts);
+  ASSERT_TRUE(R.ParseOk) << R.ParseError;
+  EXPECT_EQ(R.SinkPaths, 2u);
+  EXPECT_EQ(R.VulnerablePaths, 2u);
+  // The first vulnerable path's stats are the reported ones.
+  EXPECT_EQ(R.SinkLine, 3u);
+}
+
+TEST(SymExecTest, MultipleWitnessesEnumerate) {
+  Problem P;
+  VarId V = P.addVariable("v");
+  P.addConstraint({P.var(V)}, regexLanguage("[ab]{2}"));
+  SolveResult R = Solver().solve(P);
+  ASSERT_TRUE(R.Satisfiable);
+  auto Ws = R.Assignments.front().witnesses(V, 10);
+  EXPECT_EQ(Ws.size(), 4u);
+  EXPECT_EQ(Ws.front(), "aa");
+}
+
+TEST(SymExecTest, ParseFailureIsReported) {
+  AnalysisResult R = analyzeSource("$x = ;", AttackSpec::sqlQuote());
+  EXPECT_FALSE(R.ParseOk);
+  EXPECT_FALSE(R.ParseError.empty());
+}
+
+TEST(SymExecTest, StatsAreForwarded) {
+  AnalysisResult R =
+      analyzeSource(Figure1Source, AttackSpec::sqlQuote());
+  ASSERT_TRUE(R.vulnerable());
+  EXPECT_EQ(R.NumConstraints, 5u);
+  EXPECT_GT(R.Stats.StatesVisited, 0u);
+  EXPECT_GE(R.SolveSeconds, 0.0);
+  EXPECT_EQ(R.SinkLine, 8u);
+}

@@ -1,0 +1,205 @@
+//===- ToolsTest.cpp - dprle CLI command tests ----------------------------===//
+//
+// The command handlers take streams and return exit codes, so the CLI is
+// tested end-to-end without spawning processes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/Commands.h"
+
+#include "automata/NfaOps.h"
+#include "automata/Serialize.h"
+#include "regex/RegexCompiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace dprle;
+using namespace dprle::tools;
+
+namespace {
+
+struct RunResult {
+  int Code;
+  std::string Out;
+  std::string Err;
+};
+
+RunResult run(const std::vector<std::string> &Args,
+              const std::string &Stdin = "") {
+  std::istringstream In(Stdin);
+  std::ostringstream Out, Err;
+  int Code = runMain(Args, In, Out, Err);
+  return {Code, Out.str(), Err.str()};
+}
+
+/// RAII temp directory for file-based commands.
+struct TempDir {
+  std::filesystem::path Path;
+  TempDir() {
+    Path = std::filesystem::temp_directory_path() /
+           ("dprle-tools-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string file(const std::string &Name, const std::string &Content) {
+    std::string Full = (Path / Name).string();
+    std::ofstream Out(Full);
+    Out << Content;
+    return Full;
+  }
+};
+
+} // namespace
+
+TEST(ToolsTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run({"help"}).Code, 0);
+  RunResult R = run({"frobnicate"});
+  EXPECT_EQ(R.Code, 2);
+  EXPECT_NE(R.Err.find("unknown command"), std::string::npos);
+  EXPECT_EQ(run({}).Code, 2);
+}
+
+TEST(ToolsTest, SolveFromStdin) {
+  RunResult R = run({"solve", "-"}, "var v;\nv <= /ab*/;\n");
+  EXPECT_EQ(R.Code, 0);
+  EXPECT_NE(R.Out.find("sat"), std::string::npos);
+  EXPECT_NE(R.Out.find("v = /"), std::string::npos);
+}
+
+TEST(ToolsTest, SolveUnsatExitCode) {
+  RunResult R = run({"solve", "-"}, "var v;\nv <= /a/;\nv <= /b/;\n");
+  EXPECT_EQ(R.Code, 1);
+  EXPECT_NE(R.Out.find("unsat"), std::string::npos);
+}
+
+TEST(ToolsTest, SolveReportsParseErrors) {
+  RunResult R = run({"solve", "-"}, "var ;\n");
+  EXPECT_EQ(R.Code, 2);
+  EXPECT_NE(R.Err.find("error"), std::string::npos);
+}
+
+TEST(ToolsTest, SolveFirstFlag) {
+  RunResult R = run({"solve", "--first", "-"},
+                    "var a, b;\na . b <= /x{0,6}/;\n");
+  EXPECT_EQ(R.Code, 0);
+  EXPECT_NE(R.Out.find("sat (1 assignment)"), std::string::npos);
+}
+
+TEST(ToolsTest, AnalyzeSqlFromStdin) {
+  RunResult R = run({"analyze", "-"},
+                    "$x = $_POST['k'];\n"
+                    "if (!preg_match('/[\\d]+$/', $x)) { exit; }\n"
+                    "query(\"id=\" . $x);\n");
+  EXPECT_EQ(R.Code, 0);
+  EXPECT_NE(R.Out.find("VULNERABLE"), std::string::npos);
+  EXPECT_NE(R.Out.find("_POST:k"), std::string::npos);
+  EXPECT_NE(R.Out.find("slice:"), std::string::npos);
+}
+
+TEST(ToolsTest, AnalyzeXssFlag) {
+  RunResult R =
+      run({"analyze", "--attack=xss", "-"}, "echo $_GET['c'];\n");
+  EXPECT_EQ(R.Code, 0);
+  EXPECT_NE(R.Out.find("<script"), std::string::npos);
+}
+
+TEST(ToolsTest, AnalyzeNotVulnerableExitCode) {
+  RunResult R = run({"analyze", "-"},
+                    "$x = $_POST['k'];\n"
+                    "if (!preg_match('/^[0-9]+$/', $x)) { exit; }\n"
+                    "query(\"id=\" . $x);\n");
+  EXPECT_EQ(R.Code, 1);
+  EXPECT_NE(R.Out.find("not vulnerable"), std::string::npos);
+}
+
+TEST(ToolsTest, AutomataInfo) {
+  RunResult R = run({"automata", "info", "/(ab)+/"});
+  EXPECT_EQ(R.Code, 0);
+  EXPECT_NE(R.Out.find("states:"), std::string::npos);
+  EXPECT_NE(R.Out.find("empty:       no"), std::string::npos);
+}
+
+TEST(ToolsTest, AutomataRoundTripThroughFiles) {
+  TempDir Tmp;
+  std::string MachineFile =
+      Tmp.file("m.nfa", serializeNfa(regexLanguage("a(b|c)d"), "m"));
+  RunResult Min = run({"automata", "minimize", MachineFile});
+  ASSERT_EQ(Min.Code, 0);
+  // The minimized output parses back and stays equivalent.
+  NfaParseResult Parsed = parseNfa(Min.Out);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.Error;
+  EXPECT_TRUE(equivalent(*Parsed.Machine, regexLanguage("a(b|c)d")));
+}
+
+TEST(ToolsTest, AutomataBinaryOps) {
+  EXPECT_EQ(run({"automata", "equiv", "/a|b/", "/[ab]/"}).Code, 0);
+  EXPECT_EQ(run({"automata", "equiv", "/a/", "/b/"}).Code, 1);
+  EXPECT_EQ(run({"automata", "subset", "/ab/", "/a.*/"}).Code, 0);
+  EXPECT_EQ(run({"automata", "subset", "/ba/", "/a.*/"}).Code, 1);
+  RunResult I = run({"automata", "intersect", "/[ab]+/", "/.*a/"});
+  ASSERT_EQ(I.Code, 0);
+  NfaParseResult Parsed = parseNfa(I.Out);
+  ASSERT_TRUE(Parsed.ok());
+  EXPECT_TRUE(Parsed.Machine->accepts("ba"));
+  EXPECT_FALSE(Parsed.Machine->accepts("ab"));
+}
+
+TEST(ToolsTest, AutomataAcceptsAndShortest) {
+  EXPECT_EQ(run({"automata", "accepts", "/a+b/", "aab"}).Code, 0);
+  EXPECT_EQ(run({"automata", "accepts", "/a+b/", "b"}).Code, 1);
+  RunResult S = run({"automata", "shortest", "/x{3,}/"});
+  EXPECT_EQ(S.Code, 0);
+  EXPECT_NE(S.Out.find("\"xxx\""), std::string::npos);
+  EXPECT_EQ(run({"automata", "shortest", "/[]/"}).Code, 1);
+}
+
+TEST(ToolsTest, AutomataEnumerateAndDot) {
+  RunResult E = run({"automata", "enumerate", "/a{1,3}/"});
+  EXPECT_EQ(E.Code, 0);
+  EXPECT_NE(E.Out.find("\"a\""), std::string::npos);
+  EXPECT_NE(E.Out.find("\"aaa\""), std::string::npos);
+  EXPECT_EQ(E.Out.find("\"aaaa\""), std::string::npos);
+  RunResult D = run({"automata", "dot", "/ab/"});
+  EXPECT_EQ(D.Code, 0);
+  EXPECT_EQ(D.Out.rfind("digraph", 0), 0u);
+}
+
+TEST(ToolsTest, AutomataToRegexRoundTrips) {
+  RunResult R = run({"automata", "to-regex", "/(a|b)*abb/"});
+  ASSERT_EQ(R.Code, 0);
+  // Output is /regex/\n; feed it back through equiv.
+  std::string Pattern = R.Out.substr(0, R.Out.size() - 1);
+  EXPECT_EQ(run({"automata", "equiv", Pattern, "/(a|b)*abb/"}).Code, 0);
+}
+
+TEST(ToolsTest, AutomataExtendedDialect) {
+  EXPECT_EQ(run({"automata", "equiv", "/~a&~b/", "/~(a|b)/"}).Code, 0);
+}
+
+TEST(ToolsTest, AutomataErrors) {
+  EXPECT_EQ(run({"automata"}).Code, 2);
+  EXPECT_EQ(run({"automata", "bogus-op", "/a/"}).Code, 2);
+  EXPECT_EQ(run({"automata", "equiv", "/a/"}).Code, 2);
+  RunResult R = run({"automata", "info", "/((/"});
+  EXPECT_EQ(R.Code, 2);
+  EXPECT_NE(R.Err.find("regex"), std::string::npos);
+  EXPECT_EQ(run({"automata", "info", "/nonexistent/file.nfa"}).Code, 2);
+}
+
+TEST(ToolsTest, CorpusWritesSuites) {
+  TempDir Tmp;
+  RunResult R = run({"corpus", (Tmp.Path / "corpus").string()});
+  ASSERT_EQ(R.Code, 0);
+  EXPECT_TRUE(std::filesystem::exists(Tmp.Path / "corpus" / "eve-1.0" /
+                                      "edit.php"));
+  EXPECT_TRUE(std::filesystem::exists(Tmp.Path / "corpus" / "warp-1.2.1" /
+                                      "secure.php"));
+}

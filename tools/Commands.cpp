@@ -1,0 +1,357 @@
+//===- Commands.cpp - dprle tool command library ---------------------------===//
+
+#include "tools/Commands.h"
+
+#include "automata/NfaOps.h"
+#include "automata/Print.h"
+#include "automata/Serialize.h"
+#include "miniphp/Analysis.h"
+#include "miniphp/Corpus.h"
+#include "regex/NfaToRegex.h"
+#include "regex/RegexCompiler.h"
+#include "regex/RegexParser.h"
+#include "solver/ConstraintParser.h"
+#include "solver/Solver.h"
+
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace dprle;
+using namespace dprle::tools;
+
+namespace {
+
+/// Reads a whole file (or stdin for "-").
+bool readInput(const std::string &Path, std::istream &Stdin,
+               std::string &Out, std::ostream &Err) {
+  if (Path == "-") {
+    std::ostringstream Buffer;
+    Buffer << Stdin.rdbuf();
+    Out = Buffer.str();
+    return true;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    Err << "error: cannot open " << Path << "\n";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+/// Loads a machine spec: /regex/ literal or serialized-NFA file path.
+bool loadMachine(const std::string &Spec, Nfa &Out, std::ostream &Err) {
+  if (Spec.size() >= 2 && Spec.front() == '/' && Spec.back() == '/') {
+    std::string Pattern = Spec.substr(1, Spec.size() - 2);
+    RegexParseResult R = parseRegexExtended(Pattern);
+    if (!R.ok()) {
+      Err << "error: regex " << Spec << ": " << R.Error << " at offset "
+          << R.ErrorPos << "\n";
+      return false;
+    }
+    Out = compileRegex(*R.Ast);
+    return true;
+  }
+  std::ifstream In(Spec);
+  if (!In) {
+    Err << "error: cannot open machine file " << Spec << "\n";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  NfaParseResult R = parseNfa(Buffer.str());
+  if (!R.ok()) {
+    Err << "error: " << Spec << ":" << R.ErrorLine << ": " << R.Error
+        << "\n";
+    return false;
+  }
+  Out = std::move(*R.Machine);
+  return true;
+}
+
+void printUsage(std::ostream &Err) {
+  Err << "usage:\n"
+      << "  dprle solve [--first] <file.rma | ->\n"
+      << "  dprle analyze [--attack=sql|xss] [--all] <file.php | ->\n"
+      << "  dprle automata <op> <machine...>\n"
+      << "     ops: info, minimize, complement, dot, to-regex, shortest,\n"
+      << "          enumerate, intersect, union, concat, equiv, subset,\n"
+      << "          accepts\n"
+      << "     machines: /regex/ (extended dialect) or serialized .nfa "
+         "file\n"
+      << "  dprle corpus <output-directory>\n";
+}
+
+} // namespace
+
+int dprle::tools::runSolve(const std::vector<std::string> &Args,
+                           std::istream &In, std::ostream &Out,
+                           std::ostream &Err) {
+  SolverOptions Opts;
+  std::string Path;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--first")
+      Opts.MaxSolutions = 1;
+    else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      Err << "error: unknown option " << Arg << "\n";
+      return 2;
+    } else
+      Path = Arg;
+  }
+  if (Path.empty()) {
+    Err << "error: no input file (use '-' for stdin)\n";
+    return 2;
+  }
+  std::string Text;
+  if (!readInput(Path, In, Text, Err))
+    return 2;
+  ConstraintParseResult Parsed = parseConstraintText(Text);
+  if (!Parsed.Ok) {
+    Err << Path << ":" << Parsed.ErrorLine << ": error: " << Parsed.Error
+        << "\n";
+    return 2;
+  }
+  SolveResult R = Solver(Opts).solve(Parsed.Instance);
+  if (!R.Satisfiable) {
+    Out << "unsat\n";
+    return 1;
+  }
+  const Problem &P = Parsed.Instance;
+  Out << "sat (" << R.Assignments.size() << " assignment"
+      << (R.Assignments.size() == 1 ? "" : "s") << ")\n";
+  for (size_t I = 0; I != R.Assignments.size(); ++I) {
+    Out << "assignment " << I + 1 << ":\n";
+    for (VarId V = 0; V != P.numVariables(); ++V) {
+      auto Witness = R.Assignments[I].witness(V);
+      Out << "  " << P.variableName(V) << " = /"
+          << R.Assignments[I].regexFor(V) << "/  e.g. \""
+          << (Witness ? *Witness : "<empty>") << "\"\n";
+    }
+  }
+  return 0;
+}
+
+int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
+                             std::istream &In, std::ostream &Out,
+                             std::ostream &Err) {
+  miniphp::AttackSpec Attack = miniphp::AttackSpec::sqlQuote();
+  miniphp::AnalysisOptions Opts;
+  std::string Path;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--attack=sql") {
+      Attack = miniphp::AttackSpec::sqlQuote();
+    } else if (Arg == "--attack=xss") {
+      Attack = miniphp::AttackSpec::xssScriptTag();
+    } else if (Arg == "--all") {
+      Opts.StopAtFirstVulnerability = false;
+      Opts.SymExec.StopAtFirstSink = false;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      Err << "error: unknown option " << Arg << "\n";
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    Err << "error: no input file (use '-' for stdin)\n";
+    return 2;
+  }
+  std::string Source;
+  if (!readInput(Path, In, Source, Err))
+    return 2;
+  miniphp::AnalysisResult R = analyzeSource(Source, Attack, Opts);
+  if (!R.ParseOk) {
+    Err << Path << ": parse error: " << R.ParseError << "\n";
+    return 2;
+  }
+  Out << "blocks: " << R.NumBlocks << ", sink paths: " << R.SinkPaths
+      << ", vulnerable paths: " << R.VulnerablePaths << "\n";
+  if (!R.vulnerable()) {
+    Out << "result: not vulnerable\n";
+    return 1;
+  }
+  Out << "result: VULNERABLE at line " << R.SinkLine << " (|C|="
+      << R.NumConstraints << ", solve " << R.SolveSeconds << "s)\n";
+  for (const auto &[Key, Value] : R.ExploitInputs)
+    Out << "  " << Key << " = \"" << Value << "\"\n";
+  Out << "slice:";
+  for (unsigned Line : R.SliceLines)
+    Out << " " << Line;
+  Out << "\n";
+  return 0;
+}
+
+int dprle::tools::runAutomata(const std::vector<std::string> &Args,
+                              std::ostream &Out, std::ostream &Err) {
+  if (Args.empty()) {
+    printUsage(Err);
+    return 2;
+  }
+  const std::string &Op = Args[0];
+  std::vector<std::string> Rest(Args.begin() + 1, Args.end());
+
+  auto Need = [&](size_t N) {
+    if (Rest.size() == N)
+      return true;
+    Err << "error: '" << Op << "' expects " << N << " argument"
+        << (N == 1 ? "" : "s") << "\n";
+    return false;
+  };
+
+  // Unary machine -> machine/text operations.
+  if (Op == "info" || Op == "minimize" || Op == "complement" ||
+      Op == "dot" || Op == "to-regex" || Op == "shortest" ||
+      Op == "enumerate") {
+    if (!Need(1))
+      return 2;
+    Nfa M;
+    if (!loadMachine(Rest[0], M, Err))
+      return 2;
+    if (Op == "info") {
+      Out << "states:      " << M.numStates() << "\n"
+          << "transitions: " << M.numTransitions() << "\n"
+          << "epsilons:    " << M.numEpsilonTransitions() << "\n"
+          << "accepting:   " << M.numAccepting() << "\n"
+          << "empty:       " << (M.languageIsEmpty() ? "yes" : "no") << "\n"
+          << "dfa states:  " << determinize(M).numStates() << "\n"
+          << "minimal dfa: " << determinize(M).minimized().numStates()
+          << "\n";
+      return 0;
+    }
+    if (Op == "minimize") {
+      Out << serializeNfa(minimized(M), "minimized");
+      return 0;
+    }
+    if (Op == "complement") {
+      Out << serializeNfa(complement(M), "complement");
+      return 0;
+    }
+    if (Op == "dot") {
+      printNfaDot(Out, M);
+      return 0;
+    }
+    if (Op == "to-regex") {
+      Out << "/" << nfaToRegex(M) << "/\n";
+      return 0;
+    }
+    if (Op == "shortest") {
+      auto S = shortestString(M);
+      if (!S) {
+        Out << "<empty language>\n";
+        return 1;
+      }
+      Out << "\"" << *S << "\"\n";
+      return 0;
+    }
+    // enumerate
+    for (const std::string &S : enumerateStrings(M, 16, 20))
+      Out << "\"" << S << "\"\n";
+    return 0;
+  }
+
+  // Binary machine x machine operations.
+  if (Op == "intersect" || Op == "union" || Op == "concat" ||
+      Op == "equiv" || Op == "subset") {
+    if (!Need(2))
+      return 2;
+    Nfa A, B;
+    if (!loadMachine(Rest[0], A, Err) || !loadMachine(Rest[1], B, Err))
+      return 2;
+    if (Op == "intersect") {
+      Out << serializeNfa(intersect(A, B).trimmed(), "intersection");
+      return 0;
+    }
+    if (Op == "union") {
+      Out << serializeNfa(alternate(A, B), "union");
+      return 0;
+    }
+    if (Op == "concat") {
+      Out << serializeNfa(concat(A, B), "concatenation");
+      return 0;
+    }
+    if (Op == "equiv") {
+      bool Eq = equivalent(A, B);
+      Out << (Eq ? "equivalent" : "different") << "\n";
+      return Eq ? 0 : 1;
+    }
+    bool Sub = isSubsetOf(A, B);
+    Out << (Sub ? "subset" : "not a subset") << "\n";
+    return Sub ? 0 : 1;
+  }
+
+  if (Op == "accepts") {
+    if (!Need(2))
+      return 2;
+    Nfa M;
+    if (!loadMachine(Rest[0], M, Err))
+      return 2;
+    bool Ok = M.accepts(Rest[1]);
+    Out << (Ok ? "accepted" : "rejected") << "\n";
+    return Ok ? 0 : 1;
+  }
+
+  Err << "error: unknown automata op '" << Op << "'\n";
+  printUsage(Err);
+  return 2;
+}
+
+int dprle::tools::runCorpus(const std::vector<std::string> &Args,
+                            std::ostream &Out, std::ostream &Err) {
+  if (Args.size() != 1) {
+    Err << "error: corpus expects an output directory\n";
+    return 2;
+  }
+  std::filesystem::path Root(Args[0]);
+  std::error_code Ec;
+  std::filesystem::create_directories(Root, Ec);
+  if (Ec) {
+    Err << "error: cannot create " << Args[0] << ": " << Ec.message()
+        << "\n";
+    return 1;
+  }
+  for (const miniphp::Suite &S : miniphp::figure11Suites()) {
+    std::filesystem::path Dir = Root / (S.Name + "-" + S.Version);
+    std::filesystem::create_directories(Dir, Ec);
+    for (const miniphp::SuiteFile &F : S.Files) {
+      std::ofstream File(Dir / F.Name);
+      if (!File) {
+        Err << "error: cannot write " << (Dir / F.Name).string() << "\n";
+        return 1;
+      }
+      File << F.Source;
+    }
+    Out << S.Name << " " << S.Version << ": " << S.Files.size()
+        << " files, " << S.totalLines() << " lines\n";
+  }
+  return 0;
+}
+
+int dprle::tools::runMain(const std::vector<std::string> &Args,
+                          std::istream &In, std::ostream &Out,
+                          std::ostream &Err) {
+  if (Args.empty()) {
+    printUsage(Err);
+    return 2;
+  }
+  std::vector<std::string> Rest(Args.begin() + 1, Args.end());
+  if (Args[0] == "solve")
+    return runSolve(Rest, In, Out, Err);
+  if (Args[0] == "analyze")
+    return runAnalyze(Rest, In, Out, Err);
+  if (Args[0] == "automata")
+    return runAutomata(Rest, Out, Err);
+  if (Args[0] == "corpus")
+    return runCorpus(Rest, Out, Err);
+  if (Args[0] == "--help" || Args[0] == "help") {
+    printUsage(Out);
+    return 0;
+  }
+  Err << "error: unknown command '" << Args[0] << "'\n";
+  printUsage(Err);
+  return 2;
+}

@@ -1,0 +1,54 @@
+//===- Commands.h - dprle tool command library ------------------*- C++ -*-==//
+///
+/// \file
+/// The implementation of the `dprle` command-line tool, exposed as a
+/// library so the command handlers can be unit-tested directly (streams
+/// in, streams out, exit code returned).
+///
+/// Subcommands:
+///   dprle solve [--first] <file.rma | ->        solve a constraint file
+///   dprle analyze [--attack=sql|xss] <file.php>  find injection exploits
+///   dprle automata <op> <machine...>             automata calculator
+///   dprle corpus <directory>                     dump the Fig. 11 corpus
+///
+/// Machines are given either as /regex/ literals (extended dialect: `&`
+/// intersection, `~` complement) or as paths to files in the serialized
+/// NFA format of automata/Serialize.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_TOOLS_COMMANDS_H
+#define DPRLE_TOOLS_COMMANDS_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dprle {
+namespace tools {
+
+/// `dprle solve` — constraint-file solving.
+int runSolve(const std::vector<std::string> &Args, std::istream &In,
+             std::ostream &Out, std::ostream &Err);
+
+/// `dprle analyze` — mini-PHP vulnerability analysis.
+int runAnalyze(const std::vector<std::string> &Args, std::istream &In,
+               std::ostream &Out, std::ostream &Err);
+
+/// `dprle automata` — the automata calculator.
+int runAutomata(const std::vector<std::string> &Args, std::ostream &Out,
+                std::ostream &Err);
+
+/// `dprle corpus` — write the synthetic corpus to a directory.
+int runCorpus(const std::vector<std::string> &Args, std::ostream &Out,
+              std::ostream &Err);
+
+/// Top-level dispatch (argv[0] already stripped). Prints usage on
+/// unknown commands.
+int runMain(const std::vector<std::string> &Args, std::istream &In,
+            std::ostream &Out, std::ostream &Err);
+
+} // namespace tools
+} // namespace dprle
+
+#endif // DPRLE_TOOLS_COMMANDS_H

@@ -1,0 +1,18 @@
+//===- dprle.cpp - The dprle command-line tool ----------------------------===//
+//
+// "We have implemented our decision procedure as a stand-alone utility in
+// the style of a theorem prover or SAT solver." — this is that utility.
+// See tools/Commands.h for the subcommands.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/Commands.h"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  return dprle::tools::runMain(Args, std::cin, std::cout, std::cerr);
+}
