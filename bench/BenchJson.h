@@ -1,0 +1,170 @@
+//===- BenchJson.h - Machine-readable benchmark artifacts -------*- C++ -*-==//
+///
+/// \file
+/// Every bench/bench_<name> binary emits a BENCH_<name>.json artifact
+/// alongside its human-readable output, so benchmark trajectories can be
+/// tracked across commits without scraping text tables. The schema is
+/// documented in docs/OBSERVABILITY.md ("BENCH_*.json format").
+///
+/// Two entry points:
+///   * DPRLE_BENCH_MAIN("name") — drop-in replacement for
+///     BENCHMARK_MAIN() that runs google-benchmark with the normal console
+///     output and additionally captures every run into the artifact.
+///   * BenchReport — for the table-reproduction benches (Figure 11/12,
+///     the minimization ablation) that do not use google-benchmark:
+///     record named runs by hand, then write().
+///
+/// The artifact is written to $DPRLE_BENCH_JSON_DIR (default: the current
+/// working directory). A write failure warns but never fails the bench —
+/// artifacts are an observability convenience, not a correctness gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_BENCH_BENCHJSON_H
+#define DPRLE_BENCH_BENCHJSON_H
+
+#include "automata/OpStats.h"
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dprle {
+namespace benchjson {
+
+/// One measured run (a google-benchmark run or a hand-timed table row).
+struct BenchRun {
+  std::string Name;
+  uint64_t Iterations = 1;
+  double RealSeconds = 0.0; ///< Total accumulated wall time.
+  double CpuSeconds = 0.0;  ///< Total accumulated CPU time.
+  std::vector<std::pair<std::string, double>> Counters;
+};
+
+inline std::string artifactPath(const std::string &BenchName) {
+  std::string Dir = ".";
+  if (const char *Env = std::getenv("DPRLE_BENCH_JSON_DIR"))
+    if (*Env)
+      Dir = Env;
+  return Dir + "/BENCH_" + BenchName + ".json";
+}
+
+/// Writes the artifact. \p WallSeconds is the harness's total wall time,
+/// \p StatesVisited the OpStats::totalStatesVisited() delta over the whole
+/// run — the two fields every artifact is guaranteed to carry.
+inline bool writeBenchJson(const std::string &BenchName,
+                           const std::vector<BenchRun> &Runs,
+                           double WallSeconds, uint64_t StatesVisited) {
+  Json Doc = Json::object();
+  Doc["schema_version"] = 1;
+  Doc["bench"] = BenchName;
+  Doc["wall_seconds"] = WallSeconds;
+  Doc["states_visited"] = StatesVisited;
+  Json RunArray = Json::array();
+  for (const BenchRun &R : Runs) {
+    Json Run = Json::object();
+    Run["name"] = R.Name;
+    Run["iterations"] = R.Iterations;
+    Run["real_seconds"] = R.RealSeconds;
+    Run["seconds_per_iteration"] =
+        R.RealSeconds / double(R.Iterations ? R.Iterations : 1);
+    Run["cpu_seconds"] = R.CpuSeconds;
+    Json Counters = Json::object();
+    for (const auto &[Name, Value] : R.Counters)
+      Counters[Name] = Value;
+    Run["counters"] = std::move(Counters);
+    RunArray.push(std::move(Run));
+  }
+  Doc["runs"] = std::move(RunArray);
+
+  std::string Path = artifactPath(BenchName);
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Doc.dump() << "\n";
+  std::fprintf(stderr, "wrote %s\n", Path.c_str());
+  return true;
+}
+
+/// Manual accumulator for the table-reproduction benches.
+class BenchReport {
+public:
+  explicit BenchReport(std::string BenchName)
+      : Name(std::move(BenchName)),
+        StatesBefore(OpStats::global().totalStatesVisited()) {}
+
+  BenchRun &addRun(std::string RunName) {
+    Runs.push_back({});
+    Runs.back().Name = std::move(RunName);
+    return Runs.back();
+  }
+
+  /// Writes BENCH_<name>.json. Never fails the bench.
+  void write() {
+    writeBenchJson(Name, Runs, Clock.seconds(),
+                   OpStats::global().totalStatesVisited() - StatesBefore);
+  }
+
+private:
+  std::string Name;
+  Timer Clock;
+  uint64_t StatesBefore;
+  std::vector<BenchRun> Runs;
+};
+
+/// Console reporter that also captures every run for the artifact.
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+  std::vector<BenchRun> Captured;
+
+  void ReportRuns(const std::vector<Run> &Report) override {
+    for (const Run &R : Report) {
+      if (R.error_occurred)
+        continue;
+      BenchRun Out;
+      Out.Name = R.benchmark_name();
+      Out.Iterations = static_cast<uint64_t>(R.iterations);
+      Out.RealSeconds = R.real_accumulated_time;
+      Out.CpuSeconds = R.cpu_accumulated_time;
+      for (const auto &[CounterName, Counter] : R.counters)
+        Out.Counters.emplace_back(CounterName, double(Counter));
+      Captured.push_back(std::move(Out));
+    }
+    ConsoleReporter::ReportRuns(Report);
+  }
+};
+
+inline int runBenchmarksWithJson(const std::string &BenchName, int Argc,
+                                 char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  Timer Clock;
+  uint64_t StatesBefore = OpStats::global().totalStatesVisited();
+  CaptureReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  writeBenchJson(BenchName, Reporter.Captured, Clock.seconds(),
+                 OpStats::global().totalStatesVisited() - StatesBefore);
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace benchjson
+} // namespace dprle
+
+/// BENCHMARK_MAIN() replacement that also writes BENCH_<Name>.json.
+#define DPRLE_BENCH_MAIN(Name)                                                \
+  int main(int argc, char **argv) {                                           \
+    return ::dprle::benchjson::runBenchmarksWithJson(Name, argc, argv);       \
+  }
+
+#endif // DPRLE_BENCH_BENCHJSON_H

@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "automata/NfaOps.h"
 #include "automata/OpStats.h"
 #include "regex/RegexCompiler.h"
@@ -101,4 +102,4 @@ BENCHMARK(BM_CiMachineConstruction)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
 BENCHMARK(BM_CiFirstSolution)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 BENCHMARK(BM_CiAllSolutions)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
-BENCHMARK_MAIN();
+DPRLE_BENCH_MAIN("ci_scaling")

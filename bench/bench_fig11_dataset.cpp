@@ -11,8 +11,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "miniphp/Analysis.h"
 #include "miniphp/Corpus.h"
+#include "support/Timer.h"
 
 #include <cstdio>
 
@@ -20,6 +22,7 @@ using namespace dprle;
 using namespace dprle::miniphp;
 
 int main() {
+  benchjson::BenchReport Report("fig11_dataset");
   std::printf("Reproduction of paper Figure 11: programs in the data set "
               "with more than one direct defect.\n\n");
   std::printf("%-8s %-8s %6s %8s %12s %14s\n", "Name", "Version", "Files",
@@ -34,6 +37,7 @@ int main() {
   for (size_t I = 0; I != Suites.size(); ++I) {
     const Suite &S = Suites[I];
     unsigned Vulnerable = 0;
+    Timer SuiteClock;
     for (const SuiteFile &F : S.Files) {
       AnalysisOptions Opts;
       Opts.Solver.CanonicalizeConstants = false;
@@ -55,8 +59,15 @@ int main() {
                 S.Version.c_str(), S.Files.size(), S.totalLines(),
                 Vulnerable, PaperVulnerable[I]);
     ShapeHolds = ShapeHolds && Vulnerable == PaperVulnerable[I];
+    benchjson::BenchRun &Run = Report.addRun(S.Name + "-" + S.Version);
+    Run.RealSeconds = SuiteClock.seconds();
+    Run.Counters = {{"files", double(S.Files.size())},
+                    {"loc", double(S.totalLines())},
+                    {"vulnerable", double(Vulnerable)},
+                    {"paper_vulnerable", double(PaperVulnerable[I])}};
   }
   std::printf("\nvulnerable-file counts %s the paper's\n",
               ShapeHolds ? "MATCH" : "DO NOT MATCH");
+  Report.write();
   return ShapeHolds ? 0 : 1;
 }

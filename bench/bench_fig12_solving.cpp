@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "miniphp/Analysis.h"
 #include "miniphp/Corpus.h"
 #include "support/Timer.h"
@@ -43,6 +44,7 @@ int main(int Argc, char **Argv) {
               "-----------------------------------------------------------"
               "--------------------");
 
+  benchjson::BenchReport Report("fig12_solving");
   double TotalSeconds = 0.0;
   unsigned Found = 0, Sub1s = 0, Rows = 0;
   for (const VulnSpec &Spec : figure12Specs()) {
@@ -65,6 +67,13 @@ int main(int Argc, char **Argv) {
                 Spec.Suite.c_str(), Spec.Name.c_str(), R.NumBlocks,
                 R.NumConstraints, R.SolveSeconds, Spec.PaperSeconds,
                 R.vulnerable() ? "yes" : "NO (unexpected)");
+    benchjson::BenchRun &Run = Report.addRun(Spec.Suite + "/" + Spec.Name);
+    Run.RealSeconds = R.SolveSeconds;
+    Run.Counters = {{"blocks", double(R.NumBlocks)},
+                    {"constraints", double(R.NumConstraints)},
+                    {"solve_seconds", R.SolveSeconds},
+                    {"paper_solve_seconds", Spec.PaperSeconds},
+                    {"vulnerable", R.vulnerable() ? 1.0 : 0.0}};
   }
 
   std::printf("\n%u/%u vulnerabilities produced exploit inputs; %u solved "
@@ -72,5 +81,6 @@ int main(int Argc, char **Argv) {
               Found, Rows, Sub1s);
   std::printf("(paper: 17/17 found, 16/17 under one second)\n");
   std::printf("total solving time: %.2fs\n", TotalSeconds);
+  Report.write();
   return Found == Rows ? 0 : 1;
 }

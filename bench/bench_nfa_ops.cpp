@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "automata/NfaOps.h"
 #include "regex/RegexCompiler.h"
 
@@ -122,4 +123,4 @@ BENCHMARK(BM_Complement)->Range(64, 1024)->Complexity();
 BENCHMARK(BM_SubsetCheck)->Range(64, 1024)->Complexity();
 BENCHMARK(BM_ShortestString)->Range(64, 1024)->Complexity();
 
-BENCHMARK_MAIN();
+DPRLE_BENCH_MAIN("nfa_ops")

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "automata/OpStats.h"
 #include "regex/RegexCompiler.h"
 #include "solver/Solver.h"
@@ -105,4 +106,4 @@ BENCHMARK(BM_TwoCallAllSolutions)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_DepthSweepFirstSolution)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 BENCHMARK(BM_DepthSweepAllSolutions)->Arg(2)->Arg(3);
 
-BENCHMARK_MAIN();
+DPRLE_BENCH_MAIN("rma_depth")

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "regex/RegexCompiler.h"
 #include "solver/Solver.h"
 
@@ -91,4 +92,4 @@ BENCHMARK(BM_Disjunctive_AllMaximized);
 BENCHMARK(BM_Disjunctive_AllRaw);
 BENCHMARK(BM_Disjunctive_FirstOnly);
 
-BENCHMARK_MAIN();
+DPRLE_BENCH_MAIN("solver_features")

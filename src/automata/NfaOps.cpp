@@ -2,6 +2,7 @@
 
 #include "automata/NfaOps.h"
 #include "automata/OpStats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -113,6 +114,7 @@ Nfa dprle::optional(const Nfa &M) {
 //===----------------------------------------------------------------------===//
 
 Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
+  DPRLE_TRACE_SPAN("intersect");
   // Lazily materialize state pairs reachable from (startL, startR).
   // Epsilon transitions advance one side only and preserve their markers.
   Nfa Out;
@@ -172,6 +174,7 @@ Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
 //===----------------------------------------------------------------------===//
 
 Dfa dprle::determinize(const Nfa &M) {
+  DPRLE_TRACE_SPAN("determinize");
   AlphabetPartition Partition = AlphabetPartition::compute(M);
   const unsigned K = Partition.numClasses();
 

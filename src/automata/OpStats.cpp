@@ -1,6 +1,8 @@
 //===- OpStats.cpp - Automata operation accounting --------------------------//
 
 #include "automata/OpStats.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 using namespace dprle;
 
@@ -8,3 +10,30 @@ OpStats &OpStats::global() {
   static OpStats Stats;
   return Stats;
 }
+
+namespace {
+
+/// Publishes the automata counters into the unified StatsRegistry and
+/// installs the trace probe at load time, before any span can open. The
+/// dotted names are part of the stable schema of docs/OBSERVABILITY.md.
+struct RegisterOpStats {
+  RegisterOpStats() {
+    OpStats &S = OpStats::global();
+    StatsRegistry &R = StatsRegistry::global();
+    R.registerCounter("automata.product_states_visited",
+                      &S.ProductStatesVisited);
+    R.registerCounter("automata.determinize_states_visited",
+                      &S.DeterminizeStatesVisited);
+    R.registerCounter("automata.trim_states_visited", &S.TrimStatesVisited);
+    R.registerCounter("automata.epsilon_closure_steps",
+                      &S.EpsilonClosureSteps);
+    R.registerCounter("automata.induce_states_visited",
+                      &S.InduceStatesVisited);
+    TraceCollector::global().setStatesProbe(
+        [] { return OpStats::global().totalStatesVisited(); });
+  }
+};
+
+RegisterOpStats RegisterOpStatsInit;
+
+} // namespace

@@ -29,7 +29,20 @@ struct OpStats {
   /// States copied by induce_from_start / induce_from_final enumeration.
   uint64_t InduceStatesVisited = 0;
 
-  /// Sum of every per-state counter; the paper's headline metric.
+  /// The paper's headline "states visited" metric (Section 3.5): the sum
+  /// of the counters that materialize or examine machine *states*.
+  ///
+  /// EpsilonClosureSteps is deliberately excluded: a closure step is a
+  /// worklist pop while saturating a state *set* inside determinize() or
+  /// accepts() — transition-following work on states that the enclosing
+  /// operation has already counted (each determinized set is counted once
+  /// by DeterminizeStatesVisited when interned). Adding the steps would
+  /// double-count that work and inflate the O(Q^2)/O(Q^3) scaling fits of
+  /// bench_ci_scaling. The counter is still tracked and exported
+  /// separately (see docs/OBSERVABILITY.md) because closure saturation is
+  /// a real cost worth watching on its own.
+  /// StatsJsonTest.OpStatsTotalExcludesEpsilonClosureSteps pins this
+  /// semantics.
   uint64_t totalStatesVisited() const {
     return ProductStatesVisited + DeterminizeStatesVisited +
            TrimStatesVisited + InduceStatesVisited;

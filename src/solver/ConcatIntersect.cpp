@@ -3,6 +3,7 @@
 #include "solver/ConcatIntersect.h"
 #include "automata/NfaOps.h"
 #include "automata/OpStats.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -12,6 +13,7 @@ std::vector<CiAssignment> dprle::concatIntersect(const Nfa &C1, const Nfa &C2,
                                                  const Nfa &C3,
                                                  size_t MaxSolutions,
                                                  CiDiagnostics *Diags) {
+  DPRLE_TRACE_SPAN("concat_intersect");
   // Paper Figure 3, lines 5-8: construct the intermediate automata. The
   // single epsilon transition introduced by the concatenation is marked so
   // its surviving copies can be recovered from the product machine; this

@@ -2,6 +2,7 @@
 
 #include "solver/DependencyGraph.h"
 #include "automata/NfaOps.h"
+#include "support/Trace.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
@@ -20,6 +21,7 @@ NodeId DependencyGraph::addNode(NodeKind Kind, std::string Name) {
 
 DependencyGraph DependencyGraph::build(const Problem &P,
                                        bool CanonicalizeConstants) {
+  DPRLE_TRACE_SPAN("build_dependency_graph");
   DependencyGraph G;
 
   // node(vi): one vertex per unique variable (paper Figure 5 base case).

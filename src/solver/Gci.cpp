@@ -3,6 +3,7 @@
 #include "solver/Gci.h"
 #include "automata/NfaOps.h"
 #include "support/Debug.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -92,6 +93,7 @@ void GciRun::buildFlatConstraints(const std::vector<NodeId> &Roots) {
 
 void GciRun::maximizeCandidate(std::map<NodeId, Nfa> &Candidate,
                                const std::vector<NodeId> &Vars) const {
+  DPRLE_TRACE_SPAN("maximize_candidate");
   // One left-to-right pass reaches a fixpoint: a variable maximized at
   // step i stays maximal when later variables grow, because growing the
   // context only shrinks the allowed set — so anything addable at the end
@@ -241,6 +243,7 @@ Nfa GciRun::induceSegment(
 }
 
 void GciRun::enumerateSolutions() {
+  DPRLE_TRACE_SPAN("enumerate_solutions");
   // Roots: Temps that are not operands of any further concatenation; their
   // machines host every influenced node's solution ("there is always one
   // non-influenced node", Figure 8 step 7 — one per expression tree).
@@ -382,8 +385,12 @@ void GciRun::enumerateSolutions() {
 }
 
 GciResult GciRun::run() {
-  for (NodeId N : Group)
-    processNode(N);
+  DPRLE_TRACE_SPAN("gci");
+  {
+    DPRLE_TRACE_SPAN("process_nodes");
+    for (NodeId N : Group)
+      processNode(N);
+  }
   enumerateSolutions();
   return Result;
 }

@@ -5,6 +5,7 @@
 #include "automata/OpStats.h"
 #include "support/Debug.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -21,6 +22,7 @@ SolveResult Solver::solveFor(const Problem &P,
 
 SolveResult Solver::solveImpl(const Problem &P,
                               const std::vector<VarId> *Of) const {
+  DPRLE_TRACE_SPAN("solve");
   // Which variables the client cares about (all by default).
   std::vector<bool> Queried(P.numVariables(), Of == nullptr);
   if (Of)
@@ -49,44 +51,47 @@ SolveResult Solver::solveImpl(const Problem &P,
   // Constant-vs-constant subset edges are pure checks; variables outside
   // every CI-group resolve to the intersection of their constraining
   // constants.
-  for (const SubsetEdge &E : G.subsetEdges()) {
-    if (G.kind(E.To) != NodeKind::Constant)
-      continue;
-    if (!isSubsetOf(G.constantLanguage(E.To), G.constantLanguage(E.From))) {
-      DPRLE_DEBUG_LOG("solver", Os << "constant inclusion " << G.name(E.To)
-                                   << " <= " << G.name(E.From)
-                                   << " is violated");
-      return Finish(false);
-    }
-  }
-
   std::vector<Nfa> FreeLanguage(P.numVariables());
   std::vector<bool> IsFree(P.numVariables(), false);
-  for (VarId V = 0; V != P.numVariables(); ++V) {
-    NodeId N = G.nodeForVariable(V);
-    if (G.inAnyConcat(N))
-      continue;
-    IsFree[V] = true;
-    if (!Queried[V]) {
-      // Partial solving: leave unqueried free variables at Sigma-star.
-      FreeLanguage[V] = Nfa::sigmaStar();
-      continue;
+  {
+    DPRLE_TRACE_SPAN("reduce");
+    for (const SubsetEdge &E : G.subsetEdges()) {
+      if (G.kind(E.To) != NodeKind::Constant)
+        continue;
+      if (!isSubsetOf(G.constantLanguage(E.To), G.constantLanguage(E.From))) {
+        DPRLE_DEBUG_LOG("solver", Os << "constant inclusion " << G.name(E.To)
+                                     << " <= " << G.name(E.From)
+                                     << " is violated");
+        return Finish(false);
+      }
     }
-    Nfa M = Nfa::sigmaStar();
-    for (NodeId C : G.subsetConstraintsOn(N)) {
-      M = intersect(M, G.constantLanguage(C)).trimmed();
-      ++Result.Stats.SubsetIntersections;
+
+    for (VarId V = 0; V != P.numVariables(); ++V) {
+      NodeId N = G.nodeForVariable(V);
+      if (G.inAnyConcat(N))
+        continue;
+      IsFree[V] = true;
+      if (!Queried[V]) {
+        // Partial solving: leave unqueried free variables at Sigma-star.
+        FreeLanguage[V] = Nfa::sigmaStar();
+        continue;
+      }
+      Nfa M = Nfa::sigmaStar();
+      for (NodeId C : G.subsetConstraintsOn(N)) {
+        M = intersect(M, G.constantLanguage(C)).trimmed();
+        ++Result.Stats.SubsetIntersections;
+      }
+      if (Opts.MinimizeIntermediates)
+        M = minimized(M);
+      if (M.languageIsEmpty()) {
+        // A maximal satisfying assignment would map V to the empty
+        // language; following Figure 7 lines 20-23 that is a failure.
+        DPRLE_DEBUG_LOG("solver", Os << "variable " << P.variableName(V)
+                                     << " has empty language");
+        return Finish(false);
+      }
+      FreeLanguage[V] = std::move(M);
     }
-    if (Opts.MinimizeIntermediates)
-      M = minimized(M);
-    if (M.languageIsEmpty()) {
-      // A maximal satisfying assignment would map V to the empty
-      // language; following Figure 7 lines 20-23 that is a failure.
-      DPRLE_DEBUG_LOG("solver", Os << "variable " << P.variableName(V)
-                                   << " has empty language");
-      return Finish(false);
-    }
-    FreeLanguage[V] = std::move(M);
   }
 
   // --- Stage 3: solve CI-groups (Figure 7 lines 9-15). -------------------
@@ -113,6 +118,7 @@ SolveResult Solver::solveImpl(const Problem &P,
       if (!Relevant)
         continue;
     }
+    DPRLE_TRACE_SPAN("gci_group");
     GciResult GR = solveCiGroup(G, Group, GOpts);
     Result.Stats.ConcatsBuilt += GR.ConcatsBuilt;
     Result.Stats.SubsetIntersections += GR.SubsetIntersections;
@@ -139,6 +145,7 @@ SolveResult Solver::solveImpl(const Problem &P,
   }
 
   // --- Stage 4: assemble assignments (Figure 7 lines 16-23). -------------
+  DPRLE_TRACE_SPAN("assemble");
   for (const auto &Partial : Partials) {
     std::vector<Nfa> Languages(P.numVariables());
     for (VarId V = 0; V != P.numVariables(); ++V) {

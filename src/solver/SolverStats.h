@@ -11,6 +11,8 @@
 #define DPRLE_SOLVER_SOLVERSTATS_H
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace dprle {
 
@@ -37,6 +39,25 @@ struct SolverStats {
   uint64_t StatesVisited = 0;
   /// Wall-clock constraint-solving time in seconds (the paper's T_S).
   double SolveSeconds = 0.0;
+
+  /// The integer counters as stable (name, value) pairs, in declaration
+  /// order, for machine-readable reporting. Names are the snake_case
+  /// schema identifiers of docs/OBSERVABILITY.md; SolveSeconds is not
+  /// included (it is a double and is reported as "solve_seconds"
+  /// alongside).
+  std::vector<std::pair<const char *, uint64_t>> counters() const {
+    return {{"num_constraints", NumConstraints},
+            {"num_nodes", NumNodes},
+            {"gci_groups", GciGroups},
+            {"concats_built", ConcatsBuilt},
+            {"subset_intersections", SubsetIntersections},
+            {"combinations_tried", CombinationsTried},
+            {"combinations_accepted", CombinationsAccepted},
+            {"combinations_rejected_by_verification",
+             CombinationsRejectedByVerification},
+            {"worklist_iterations", WorklistIterations},
+            {"states_visited", StatesVisited}};
+  }
 };
 
 } // namespace dprle

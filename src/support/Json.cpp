@@ -1,0 +1,415 @@
+//===- Json.cpp - Minimal JSON tree, writer and parser -----------------------//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+using namespace dprle;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void escapeString(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void appendDouble(std::string &Out, double D) {
+  if (!std::isfinite(D)) {
+    // JSON has no inf/nan; the schemas never emit them, but degrade
+    // gracefully rather than produce unparseable output.
+    Out += D > 0 ? "1e999" : (D < 0 ? "-1e999" : "0");
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  std::string Token = Buf;
+  // Ensure the token still reads as a number with a fractional part when
+  // it happens to be integral, so consumers see a stable type.
+  if (Token.find_first_of(".eE") == std::string::npos)
+    Token += ".0";
+  Out += Token;
+}
+
+void indentTo(std::string &Out, unsigned Indent, unsigned Depth) {
+  if (Indent == 0)
+    return;
+  Out.push_back('\n');
+  Out.append(size_t(Indent) * Depth, ' ');
+}
+
+} // namespace
+
+Json &Json::operator[](const std::string &Key) {
+  assert((K == Kind::Object || K == Kind::Null) && "not an object");
+  K = Kind::Object;
+  for (auto &[Name, Value] : Members)
+    if (Name == Key)
+      return Value;
+  Members.emplace_back(Key, Json());
+  return Members.back().second;
+}
+
+const Json *Json::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Members)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+void Json::dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolValue ? "true" : "false";
+    break;
+  case Kind::Unsigned:
+    Out += std::to_string(UnsignedValue);
+    break;
+  case Kind::Double:
+    appendDouble(Out, DoubleValue);
+    break;
+  case Kind::String:
+    escapeString(Out, StringValue);
+    break;
+  case Kind::Array: {
+    if (Elements.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out.push_back('[');
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      indentTo(Out, Indent, Depth + 1);
+      Elements[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    indentTo(Out, Indent, Depth);
+    Out.push_back(']');
+    break;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out.push_back('{');
+    for (size_t I = 0; I != Members.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      indentTo(Out, Indent, Depth + 1);
+      escapeString(Out, Members[I].first);
+      Out += Indent ? ": " : ":";
+      Members[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    indentTo(Out, Indent, Depth);
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+std::string Json::dump(unsigned Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text) : Text(Text) {}
+
+  std::optional<Json> parse(std::string *Error) {
+    std::optional<Json> V = parseValue();
+    skipWhitespace();
+    if (V && Pos != Text.size()) {
+      fail("trailing characters after value");
+      V = std::nullopt;
+    }
+    if (!V && Error)
+      *Error = Err + " at offset " + std::to_string(Pos);
+    return V;
+  }
+
+private:
+  void fail(const char *Message) {
+    if (Err.empty())
+      Err = Message;
+  }
+
+  void skipWhitespace() {
+    while (Pos != Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                  Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWhitespace();
+    if (Pos == Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool consumeWord(const char *Word) {
+    size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  std::optional<Json> parseValue() {
+    skipWhitespace();
+    if (Pos == Text.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"')
+      return parseString();
+    if (consumeWord("true"))
+      return Json(true);
+    if (consumeWord("false"))
+      return Json(false);
+    if (consumeWord("null"))
+      return Json();
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber();
+    fail("unexpected character");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parseObject() {
+    ++Pos; // '{'
+    Json Out = Json::object();
+    if (consume('}'))
+      return Out;
+    while (true) {
+      skipWhitespace();
+      if (Pos == Text.size() || Text[Pos] != '"') {
+        fail("expected object key");
+        return std::nullopt;
+      }
+      std::optional<Json> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<Json> Value = parseValue();
+      if (!Value)
+        return std::nullopt;
+      Out[Key->asString()] = std::move(*Value);
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Out;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parseArray() {
+    ++Pos; // '['
+    Json Out = Json::array();
+    if (consume(']'))
+      return Out;
+    while (true) {
+      std::optional<Json> Value = parseValue();
+      if (!Value)
+        return std::nullopt;
+      Out.push(std::move(*Value));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Out;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parseString() {
+    ++Pos; // '"'
+    std::string Out;
+    while (Pos != Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Json(std::move(Out));
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos == Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return std::nullopt;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else {
+            fail("bad hex digit in \\u escape");
+            return std::nullopt;
+          }
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // produced by our writer and are rejected rather than combined).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        fail("unknown escape");
+        return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parseNumber() {
+    size_t Start = Pos;
+    if (Pos != Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos != Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    bool Integral = true;
+    if (Pos != Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      while (Pos != Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos != Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos != Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos != Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    std::string Token = Text.substr(Start, Pos - Start);
+    if (Integral && Token[0] != '-') {
+      uint64_t U = 0;
+      auto [Ptr, Ec] =
+          std::from_chars(Token.data(), Token.data() + Token.size(), U);
+      if (Ec == std::errc() && Ptr == Token.data() + Token.size())
+        return Json(U);
+    }
+    double D = 0;
+    auto [Ptr, Ec] =
+        std::from_chars(Token.data(), Token.data() + Token.size(), D);
+    if (Ec != std::errc() || Ptr != Token.data() + Token.size()) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return Json(D);
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+std::optional<Json> Json::parse(const std::string &Text, std::string *Error) {
+  return Parser(Text).parse(Error);
+}

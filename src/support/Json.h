@@ -1,0 +1,116 @@
+//===- Json.h - Minimal JSON tree, writer and parser ------------*- C++ -*-==//
+///
+/// \file
+/// A small JSON value type used by the observability layer (Stats.h,
+/// Trace.h) and by the bench/CLI machine-readable reporting. It is not a
+/// general-purpose JSON library: it supports exactly what the documented
+/// schemas in docs/OBSERVABILITY.md need.
+///
+/// Design points:
+///   * Objects preserve insertion order, so emitted files diff cleanly.
+///   * Unsigned 64-bit integers round-trip exactly (they are serialized as
+///     integer literals and parsed back without a double round-trip); the
+///     solver's counters exceed 2^53 only in pathological runs, but the
+///     schema promises exact values.
+///   * The parser exists so tests can validate emitted artifacts without
+///     an external dependency. It accepts strict JSON only (no comments,
+///     no trailing commas).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_JSON_H
+#define DPRLE_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dprle {
+
+class Json {
+public:
+  enum class Kind { Null, Bool, Unsigned, Double, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(bool B) : K(Kind::Bool), BoolValue(B) {}
+  Json(unsigned long long U) : K(Kind::Unsigned), UnsignedValue(U) {}
+  Json(unsigned long U) : K(Kind::Unsigned), UnsignedValue(U) {}
+  Json(unsigned U) : K(Kind::Unsigned), UnsignedValue(U) {}
+  Json(int I) : K(Kind::Unsigned), UnsignedValue(static_cast<uint64_t>(I)) {}
+  Json(double D) : K(Kind::Double), DoubleValue(D) {}
+  Json(std::string S) : K(Kind::String), StringValue(std::move(S)) {}
+  Json(const char *S) : K(Kind::String), StringValue(S) {}
+
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Unsigned || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolValue; }
+  /// Exact for Kind::Unsigned; truncates for Kind::Double.
+  uint64_t asUnsigned() const {
+    return K == Kind::Unsigned ? UnsignedValue
+                               : static_cast<uint64_t>(DoubleValue);
+  }
+  double asDouble() const {
+    return K == Kind::Unsigned ? static_cast<double>(UnsignedValue)
+                               : DoubleValue;
+  }
+  const std::string &asString() const { return StringValue; }
+
+  /// Object access: inserts a null member on first use (objects only).
+  Json &operator[](const std::string &Key);
+  /// Object lookup without insertion; nullptr when absent or not an object.
+  const Json *find(const std::string &Key) const;
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Members;
+  }
+
+  /// Array append.
+  void push(Json V) { Elements.push_back(std::move(V)); }
+  size_t size() const {
+    return K == Kind::Array ? Elements.size() : Members.size();
+  }
+  const Json &at(size_t I) const { return Elements[I]; }
+  const std::vector<Json> &elements() const { return Elements; }
+
+  /// Serializes with two-space indentation (Indent = 0 for compact form).
+  std::string dump(unsigned Indent = 2) const;
+
+  /// Strict-JSON parser; returns std::nullopt and fills \p Error on
+  /// malformed input.
+  static std::optional<Json> parse(const std::string &Text,
+                                   std::string *Error = nullptr);
+
+private:
+  void dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K;
+  bool BoolValue = false;
+  uint64_t UnsignedValue = 0;
+  double DoubleValue = 0.0;
+  std::string StringValue;
+  std::vector<Json> Elements;
+  std::vector<std::pair<std::string, Json>> Members;
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_JSON_H

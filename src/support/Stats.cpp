@@ -1,0 +1,53 @@
+//===- Stats.cpp - Unified named-counter registry ----------------------------//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace dprle;
+
+StatsRegistry &StatsRegistry::global() {
+  static StatsRegistry Registry;
+  return Registry;
+}
+
+void StatsRegistry::registerCounter(std::string Name,
+                                    const uint64_t *Storage) {
+  for (Entry &E : Entries) {
+    if (E.Name == Name) {
+      E.Storage = Storage;
+      return;
+    }
+  }
+  Entries.push_back({std::move(Name), Storage});
+}
+
+StatsRegistry::Snapshot StatsRegistry::snapshot() const {
+  Snapshot Out;
+  Out.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    Out.emplace_back(E.Name, *E.Storage);
+  return Out;
+}
+
+StatsRegistry::Snapshot StatsRegistry::delta(const Snapshot &Before,
+                                             const Snapshot &After) {
+  Snapshot Out;
+  Out.reserve(After.size());
+  for (const auto &[Name, Value] : After) {
+    uint64_t Base = 0;
+    auto It = std::find_if(Before.begin(), Before.end(),
+                           [&](const auto &P) { return P.first == Name; });
+    if (It != Before.end())
+      Base = It->second;
+    Out.emplace_back(Name, Value - Base);
+  }
+  return Out;
+}
+
+Json StatsRegistry::toJson(const Snapshot &S) {
+  Json Out = Json::object();
+  for (const auto &[Name, Value] : S)
+    Out[Name] = Value;
+  return Out;
+}

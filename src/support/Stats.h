@@ -1,0 +1,65 @@
+//===- Stats.h - Unified named-counter registry -----------------*- C++ -*-==//
+///
+/// \file
+/// A process-wide registry of named uint64 counters, unifying the
+/// previously ad-hoc counter structs (automata/OpStats.h and
+/// solver/SolverStats.h) behind one enumeration/snapshot interface. The
+/// hot paths keep bumping plain struct fields — the registry only stores
+/// *pointers* to that storage, so registration adds zero cost to the
+/// counters themselves; consumers (the --stats CLI flag, trace spans,
+/// BENCH_*.json emission) read through the registry.
+///
+/// Counter names are dotted paths, `<subsystem>.<counter>` in snake_case,
+/// e.g. "automata.product_states_visited". The full list and its stability
+/// guarantees are documented in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_STATS_H
+#define DPRLE_SUPPORT_STATS_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dprle {
+
+class StatsRegistry {
+public:
+  /// An ordered name -> value capture of every registered counter.
+  using Snapshot = std::vector<std::pair<std::string, uint64_t>>;
+
+  /// Registers \p Storage under \p Name. The storage must outlive the
+  /// registry (in practice: counters live in function-local statics or
+  /// globals). Re-registering a name replaces the pointer, so re-entrant
+  /// static initialization stays safe.
+  void registerCounter(std::string Name, const uint64_t *Storage);
+
+  /// Captures every registered counter, in registration order.
+  Snapshot snapshot() const;
+
+  /// Per-counter difference After - Before, matched by name. Counters
+  /// registered after \p Before was taken appear with their full value.
+  static Snapshot delta(const Snapshot &Before, const Snapshot &After);
+
+  /// Renders a snapshot as a flat JSON object {name: value, ...}.
+  static Json toJson(const Snapshot &S);
+
+  /// The process-wide registry. Subsystems register their counters on
+  /// first use (see OpStats::global()).
+  static StatsRegistry &global();
+
+private:
+  struct Entry {
+    std::string Name;
+    const uint64_t *Storage;
+  };
+  std::vector<Entry> Entries;
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_STATS_H

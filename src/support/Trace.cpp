@@ -1,0 +1,100 @@
+//===- Trace.cpp - Hierarchical solver tracing -------------------------------//
+
+#include "support/Trace.h"
+
+#include <chrono>
+
+using namespace dprle;
+
+bool dprle::trace_detail::Enabled = false;
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+TraceCollector &TraceCollector::global() {
+  static TraceCollector Collector;
+  return Collector;
+}
+
+void TraceCollector::start() {
+  Arena.clear();
+  Roots.clear();
+  Stack.clear();
+  Dropped = 0;
+  EpochSeconds = nowSeconds();
+  trace_detail::Enabled = true;
+}
+
+void TraceCollector::stop() { trace_detail::Enabled = false; }
+
+size_t TraceCollector::openSpan(const char *Name) {
+  if (Arena.size() >= MaxSpans) {
+    ++Dropped;
+    return SIZE_MAX;
+  }
+  size_t Index = Arena.size();
+  Node N;
+  N.Name = Name;
+  N.StartSeconds = nowSeconds() - EpochSeconds;
+  N.DurationSeconds = -1.0;
+  N.StatesVisitedBefore = Probe ? Probe() : 0;
+  N.StatesVisitedDelta = 0;
+  Arena.push_back(std::move(N));
+  if (Stack.empty())
+    Roots.push_back(Index);
+  else
+    Arena[Stack.back()].Children.push_back(Index);
+  Stack.push_back(Index);
+  return Index;
+}
+
+void TraceCollector::closeSpan(size_t Index) {
+  Node &N = Arena[Index];
+  N.DurationSeconds = nowSeconds() - EpochSeconds - N.StartSeconds;
+  N.StatesVisitedDelta = (Probe ? Probe() : 0) - N.StatesVisitedBefore;
+  // Spans close in LIFO order (they are scoped locals), but be tolerant of
+  // a span outliving the collector's stop(): pop down to this span.
+  while (!Stack.empty()) {
+    size_t Top = Stack.back();
+    Stack.pop_back();
+    if (Top == Index)
+      break;
+  }
+}
+
+Json TraceCollector::nodeToJson(const Node &N) const {
+  Json Out = Json::object();
+  Out["name"] = N.Name;
+  Out["start_seconds"] = N.StartSeconds;
+  // An unclosed span (collector stopped mid-flight) reports the time up
+  // to now rather than a negative sentinel.
+  Out["duration_seconds"] = N.DurationSeconds >= 0
+                                ? N.DurationSeconds
+                                : nowSeconds() - EpochSeconds - N.StartSeconds;
+  Out["states_visited"] = N.StatesVisitedDelta;
+  if (!N.Children.empty()) {
+    Json Kids = Json::array();
+    for (size_t C : N.Children)
+      Kids.push(nodeToJson(Arena[C]));
+    Out["children"] = std::move(Kids);
+  }
+  return Out;
+}
+
+Json TraceCollector::toJson() const {
+  Json Out = Json::object();
+  Out["span_count"] = static_cast<uint64_t>(Arena.size());
+  Out["dropped_spans"] = Dropped;
+  Json Spans = Json::array();
+  for (size_t R : Roots)
+    Spans.push(nodeToJson(Arena[R]));
+  Out["spans"] = std::move(Spans);
+  return Out;
+}

@@ -1,0 +1,141 @@
+//===- Trace.h - Hierarchical solver tracing --------------------*- C++ -*-==//
+///
+/// \file
+/// Lightweight hierarchical tracing for the solver pipeline. A TraceSpan
+/// is an RAII scope marker: on entry it records the wall clock and a
+/// snapshot of the states-visited counter, on exit the deltas. Nesting
+/// follows the call stack, so a traced solve yields a tree like
+///
+///   solve
+///   ├─ build_dependency_graph
+///   ├─ reduce
+///   └─ gci_group
+///      ├─ process_node
+///      │  └─ intersect
+///      └─ enumerate_solutions
+///
+/// Tracing is off by default and must stay invisible on the hot path when
+/// disabled — the same discipline as DPRLE_DEBUG_LOG. The DPRLE_TRACE_SPAN
+/// macro compiles to a single inlined load-and-branch of a global bool;
+/// no clock is read and no allocation happens unless a collector is
+/// active. Timing benchmarks (the tier-1 claims) therefore see zero
+/// overhead with tracing off.
+///
+/// The collector is single-threaded, matching the solver. Spans beyond
+/// the configured cap are counted but not recorded, so pathological runs
+/// degrade to a truncated trace instead of unbounded memory growth.
+/// The emitted JSON schema is documented in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_TRACE_H
+#define DPRLE_SUPPORT_TRACE_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dprle {
+
+namespace trace_detail {
+/// The enabled flag, a plain global read by every DPRLE_TRACE_SPAN site.
+/// Mutated only through TraceCollector::start()/stop().
+extern bool Enabled;
+} // namespace trace_detail
+
+/// Collects one trace: a forest of timed spans. Use through
+/// TraceCollector::global(); start() arms the DPRLE_TRACE_SPAN sites,
+/// stop() disarms them, toJson() renders the collected forest.
+class TraceCollector {
+public:
+  /// Clears prior spans and enables collection.
+  void start();
+
+  /// Disables collection; collected spans stay available for toJson().
+  void stop();
+
+  bool active() const { return trace_detail::Enabled; }
+
+  /// Number of recorded (non-dropped) spans.
+  size_t numSpans() const { return Arena.size(); }
+
+  /// Spans not recorded because the arena cap was reached.
+  uint64_t droppedSpans() const { return Dropped; }
+
+  /// Cap on recorded spans (default 1 << 16). Applies from the next
+  /// start().
+  void setMaxSpans(size_t Max) { MaxSpans = Max; }
+
+  /// Renders the collected forest per the docs/OBSERVABILITY.md trace
+  /// schema: {"spans": [...], "span_count": N, "dropped_spans": N}.
+  Json toJson() const;
+
+  /// The per-span work metric ("states visited") is provided by the
+  /// automata layer, which sits above support in the link order; it
+  /// installs a probe here at load time (see OpStats.cpp). Spans record
+  /// the probe's delta across their lifetime; without a probe the field
+  /// reads 0.
+  using StatesProbeFn = uint64_t (*)();
+  void setStatesProbe(StatesProbeFn F) { Probe = F; }
+
+  static TraceCollector &global();
+
+private:
+  friend class TraceSpan;
+
+  struct Node {
+    const char *Name;
+    double StartSeconds;    ///< Offset from trace start.
+    double DurationSeconds; ///< -1 while the span is open.
+    uint64_t StatesVisitedBefore;
+    uint64_t StatesVisitedDelta;
+    std::vector<size_t> Children; ///< Arena indices.
+  };
+
+  /// Returns the arena index, or SIZE_MAX when the cap is hit.
+  size_t openSpan(const char *Name);
+  void closeSpan(size_t Index);
+
+  Json nodeToJson(const Node &N) const;
+
+  std::vector<Node> Arena;
+  std::vector<size_t> Roots;
+  std::vector<size_t> Stack; ///< Open spans (arena indices).
+  size_t MaxSpans = size_t(1) << 16;
+  uint64_t Dropped = 0;
+  double EpochSeconds = 0.0; ///< steady_clock at start(), in seconds.
+  StatesProbeFn Probe = nullptr;
+};
+
+/// RAII span. Prefer the DPRLE_TRACE_SPAN macro; construct directly only
+/// when the span must outlive a scope boundary.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name) {
+    if (trace_detail::Enabled)
+      Index = TraceCollector::global().openSpan(Name);
+  }
+  ~TraceSpan() {
+    if (Index != InactiveSpan)
+      TraceCollector::global().closeSpan(Index);
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  static constexpr size_t InactiveSpan = SIZE_MAX;
+  size_t Index = InactiveSpan;
+};
+
+} // namespace dprle
+
+#define DPRLE_TRACE_CONCAT_IMPL(A, B) A##B
+#define DPRLE_TRACE_CONCAT(A, B) DPRLE_TRACE_CONCAT_IMPL(A, B)
+
+/// Opens a span named \p Name covering the rest of the enclosing scope.
+#define DPRLE_TRACE_SPAN(Name)                                                \
+  ::dprle::TraceSpan DPRLE_TRACE_CONCAT(DprleTraceSpan, __LINE__)(Name)
+
+#endif // DPRLE_SUPPORT_TRACE_H

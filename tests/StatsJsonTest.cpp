@@ -1,0 +1,339 @@
+//===- StatsJsonTest.cpp - Observability layer tests -------------------------//
+//
+// Covers the observability subsystem end to end: the Json writer/parser,
+// the StatsRegistry, the OpStats headline-metric semantics, the trace
+// collector, and — the integration test — that `dprle solve --stats=...
+// --trace=...` emits artifacts whose counters round-trip exactly against
+// a direct Solver run of the same instance (docs/OBSERVABILITY.md's
+// stability promise).
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/OpStats.h"
+#include "solver/ConstraintParser.h"
+#include "solver/Solver.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+#include "tools/Commands.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+using namespace dprle;
+
+namespace {
+
+/// The paper's Section 2 motivating example (examples/motivating.rma).
+const char *MotivatingRma =
+    "var posted_newsid;\n"
+    "let filter := search(/[\\d]+$/);\n"
+    "let attack := search(/'/);\n"
+    "posted_newsid <= filter;\n"
+    "\"nid_\" . posted_newsid <= attack;\n";
+
+std::string readFile(const std::filesystem::path &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+Json parseFileOrDie(const std::filesystem::path &Path) {
+  std::string Error;
+  std::optional<Json> Doc = Json::parse(readFile(Path), &Error);
+  EXPECT_TRUE(Doc.has_value()) << Path << ": " << Error;
+  return Doc ? *Doc : Json();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  Json Doc = Json::object();
+  Doc["name"] = "bench \"quoted\"\n";
+  Doc["count"] = uint64_t(18446744073709551615ull); // 2^64 - 1: exact.
+  Doc["ratio"] = 0.25;
+  Doc["ok"] = true;
+  Doc["missing"] = Json();
+  Json Arr = Json::array();
+  Arr.push(1);
+  Arr.push("two");
+  Doc["items"] = std::move(Arr);
+
+  std::string Text = Doc.dump();
+  std::string Error;
+  std::optional<Json> Back = Json::parse(Text, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->find("name")->asString(), "bench \"quoted\"\n");
+  EXPECT_EQ(Back->find("count")->asUnsigned(), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(Back->find("ratio")->asDouble(), 0.25);
+  EXPECT_TRUE(Back->find("ok")->asBool());
+  EXPECT_TRUE(Back->find("missing")->isNull());
+  ASSERT_EQ(Back->find("items")->size(), 2u);
+  EXPECT_EQ(Back->find("items")->at(0).asUnsigned(), 1u);
+  EXPECT_EQ(Back->find("items")->at(1).asString(), "two");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Json Doc = Json::object();
+  Doc["zebra"] = 1;
+  Doc["alpha"] = 2;
+  ASSERT_EQ(Doc.members().size(), 2u);
+  EXPECT_EQ(Doc.members()[0].first, "zebra");
+  EXPECT_EQ(Doc.members()[1].first, "alpha");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"a\":}", "nul", "\"unterminated", "1 2",
+        "{\"a\":1,}"}) {
+    std::string Error;
+    EXPECT_FALSE(Json::parse(Bad, &Error).has_value()) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  std::optional<Json> Doc =
+      Json::parse("{\"a\": [1, 2.5, {\"b\": null}], \"c\": \"x\\u0041\"}");
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("a")->at(2).find("b")->kind(), Json::Kind::Null);
+  EXPECT_EQ(Doc->find("c")->asString(), "xA");
+}
+
+//===----------------------------------------------------------------------===//
+// StatsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(StatsRegistryTest, SnapshotAndDelta) {
+  StatsRegistry Registry;
+  uint64_t A = 10, B = 100;
+  Registry.registerCounter("test.a", &A);
+  Registry.registerCounter("test.b", &B);
+
+  StatsRegistry::Snapshot Before = Registry.snapshot();
+  A += 5;
+  B += 23;
+  StatsRegistry::Snapshot After = Registry.snapshot();
+  StatsRegistry::Snapshot Delta = StatsRegistry::delta(Before, After);
+  ASSERT_EQ(Delta.size(), 2u);
+  EXPECT_EQ(Delta[0].first, "test.a");
+  EXPECT_EQ(Delta[0].second, 5u);
+  EXPECT_EQ(Delta[1].first, "test.b");
+  EXPECT_EQ(Delta[1].second, 23u);
+}
+
+TEST(StatsRegistryTest, GlobalRegistryExposesAutomataCounters) {
+  // OpStats registers at load time (OpStats.cpp); the names are part of
+  // the stable schema.
+  StatsRegistry::Snapshot S = StatsRegistry::global().snapshot();
+  auto Has = [&](const char *Name) {
+    for (const auto &[N, V] : S) {
+      (void)V;
+      if (N == Name)
+        return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(Has("automata.product_states_visited"));
+  EXPECT_TRUE(Has("automata.determinize_states_visited"));
+  EXPECT_TRUE(Has("automata.trim_states_visited"));
+  EXPECT_TRUE(Has("automata.epsilon_closure_steps"));
+  EXPECT_TRUE(Has("automata.induce_states_visited"));
+}
+
+//===----------------------------------------------------------------------===//
+// OpStats headline-metric semantics
+//===----------------------------------------------------------------------===//
+
+// Pins the documented choice (see OpStats.h): epsilon-closure steps are
+// transition-following work *inside* other counted operations and are
+// excluded from the paper's headline "states visited" metric; they are
+// still reported separately.
+TEST(StatsJsonTest, OpStatsTotalExcludesEpsilonClosureSteps) {
+  OpStats Stats;
+  Stats.ProductStatesVisited = 1;
+  Stats.DeterminizeStatesVisited = 2;
+  Stats.TrimStatesVisited = 4;
+  Stats.InduceStatesVisited = 8;
+  Stats.EpsilonClosureSteps = 1u << 20; // Must not leak into the total.
+  EXPECT_EQ(Stats.totalStatesVisited(), 15u);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceCollector
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, CollectsNestedSpans) {
+  TraceCollector &TC = TraceCollector::global();
+  TC.start();
+  {
+    DPRLE_TRACE_SPAN("outer");
+    { DPRLE_TRACE_SPAN("inner"); }
+  }
+  TC.stop();
+  ASSERT_EQ(TC.numSpans(), 2u);
+  Json Doc = TC.toJson();
+  EXPECT_EQ(Doc.find("span_count")->asUnsigned(), 2u);
+  EXPECT_EQ(Doc.find("dropped_spans")->asUnsigned(), 0u);
+  ASSERT_EQ(Doc.find("spans")->size(), 1u);
+  const Json &Outer = Doc.find("spans")->at(0);
+  EXPECT_EQ(Outer.find("name")->asString(), "outer");
+  EXPECT_GE(Outer.find("duration_seconds")->asDouble(), 0.0);
+  ASSERT_NE(Outer.find("children"), nullptr);
+  EXPECT_EQ(Outer.find("children")->at(0).find("name")->asString(), "inner");
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceCollector &TC = TraceCollector::global();
+  TC.start();
+  TC.stop();
+  { DPRLE_TRACE_SPAN("ignored"); }
+  EXPECT_EQ(TC.numSpans(), 0u);
+}
+
+TEST(TraceTest, CapsRecordedSpans) {
+  TraceCollector &TC = TraceCollector::global();
+  TC.setMaxSpans(4);
+  TC.start();
+  for (int I = 0; I != 10; ++I) {
+    DPRLE_TRACE_SPAN("burst");
+  }
+  TC.stop();
+  EXPECT_EQ(TC.numSpans(), 4u);
+  EXPECT_EQ(TC.droppedSpans(), 6u);
+  TC.setMaxSpans(size_t(1) << 16); // Restore the default for other tests.
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: CLI artifacts round-trip against a direct solver run
+//===----------------------------------------------------------------------===//
+
+TEST(StatsJsonTest, SolveStatsArtifactMatchesSolverStats) {
+  std::filesystem::path Dir = std::filesystem::temp_directory_path();
+  std::filesystem::path StatsPath = Dir / "dprle_stats_roundtrip.json";
+  std::filesystem::path TracePath = Dir / "dprle_trace_roundtrip.json";
+
+  std::istringstream In(MotivatingRma);
+  std::ostringstream Out, Err;
+  int Exit = tools::runMain({"solve", "--stats=" + StatsPath.string(),
+                             "--trace=" + TracePath.string(), "-"},
+                            In, Out, Err);
+  ASSERT_EQ(Exit, 0) << Err.str();
+
+  // Ground truth: the same instance solved directly.
+  ConstraintParseResult Parsed = parseConstraintText(MotivatingRma);
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  SolveResult R = Solver().solve(Parsed.Instance);
+  ASSERT_TRUE(R.Satisfiable);
+
+  Json Doc = parseFileOrDie(StatsPath);
+  EXPECT_EQ(Doc.find("schema_version")->asUnsigned(), 1u);
+  EXPECT_EQ(Doc.find("tool")->asString(), "dprle");
+  EXPECT_EQ(Doc.find("command")->asString(), "solve");
+  EXPECT_TRUE(Doc.find("result")->find("satisfiable")->asBool());
+  EXPECT_EQ(Doc.find("result")->find("assignments")->asUnsigned(),
+            R.Assignments.size());
+
+  // Every SolverStats counter must round-trip exactly — the solver is
+  // deterministic, so the CLI run and the direct run agree bit-for-bit.
+  const Json *SolverSection = Doc.find("solver");
+  ASSERT_NE(SolverSection, nullptr);
+  for (const auto &[Name, Value] : R.Stats.counters()) {
+    const Json *Field = SolverSection->find(Name);
+    ASSERT_NE(Field, nullptr) << Name;
+    EXPECT_EQ(Field->asUnsigned(), Value) << Name;
+  }
+  EXPECT_GT(SolverSection->find("solve_seconds")->asDouble(), 0.0);
+
+  // The automata section's derived total equals the solver's delta-based
+  // StatesVisited, and the closure-step counter is reported but excluded.
+  const Json *Automata = Doc.find("automata");
+  ASSERT_NE(Automata, nullptr);
+  EXPECT_EQ(Automata->find("total_states_visited")->asUnsigned(),
+            R.Stats.StatesVisited);
+  ASSERT_NE(Automata->find("epsilon_closure_steps"), nullptr);
+  uint64_t Sum = Automata->find("product_states_visited")->asUnsigned() +
+                 Automata->find("determinize_states_visited")->asUnsigned() +
+                 Automata->find("trim_states_visited")->asUnsigned() +
+                 Automata->find("induce_states_visited")->asUnsigned();
+  EXPECT_EQ(Sum, Automata->find("total_states_visited")->asUnsigned());
+
+  std::filesystem::remove(StatsPath);
+
+  // The trace artifact: a "solve" root whose subtree contains the gci
+  // phase, with the same states-visited total as the stats artifact.
+  Json Trace = parseFileOrDie(TracePath);
+  const Json *Spans = Trace.find("trace")->find("spans");
+  ASSERT_NE(Spans, nullptr);
+  ASSERT_GE(Spans->size(), 1u);
+  const Json &Root = Spans->at(0);
+  EXPECT_EQ(Root.find("name")->asString(), "solve");
+  EXPECT_EQ(Root.find("states_visited")->asUnsigned(), R.Stats.StatesVisited);
+
+  std::function<bool(const Json &, const std::string &)> SubtreeHas =
+      [&](const Json &Node, const std::string &Name) {
+        if (Node.find("name")->asString() == Name)
+          return true;
+        const Json *Kids = Node.find("children");
+        if (!Kids)
+          return false;
+        for (const Json &Kid : Kids->elements())
+          if (SubtreeHas(Kid, Name))
+            return true;
+        return false;
+      };
+  EXPECT_TRUE(SubtreeHas(Root, "reduce"));
+  EXPECT_TRUE(SubtreeHas(Root, "gci"));
+  EXPECT_TRUE(SubtreeHas(Root, "enumerate_solutions"));
+  EXPECT_TRUE(SubtreeHas(Root, "intersect"));
+
+  std::filesystem::remove(TracePath);
+}
+
+TEST(StatsJsonTest, UnsatSolveStillWritesStats) {
+  std::filesystem::path StatsPath =
+      std::filesystem::temp_directory_path() / "dprle_stats_unsat.json";
+  const char *UnsatRma = "var v;\n"
+                         "v <= /a/;\n"
+                         "v <= /b/;\n"
+                         "\"x\" . v <= /xa/;\n"; // Forces v nonempty: unsat.
+  std::istringstream In(UnsatRma);
+  std::ostringstream Out, Err;
+  int Exit = tools::runMain({"solve", "--stats=" + StatsPath.string(), "-"},
+                            In, Out, Err);
+  EXPECT_EQ(Exit, 1) << Err.str();
+  Json Doc = parseFileOrDie(StatsPath);
+  EXPECT_FALSE(Doc.find("result")->find("satisfiable")->asBool());
+  EXPECT_EQ(Doc.find("result")->find("exit_code")->asUnsigned(), 1u);
+  std::filesystem::remove(StatsPath);
+}
+
+TEST(StatsJsonTest, AnalyzeStatsArtifact) {
+  std::filesystem::path StatsPath =
+      std::filesystem::temp_directory_path() / "dprle_stats_analyze.json";
+  // The paper's Figure 1 shape: an unanchored filter lets a quote through.
+  const char *Php = "$id = $_GET['id'];\n"
+                    "if (!preg_match('/[\\d]+$/', $id)) { exit; }\n"
+                    "query(\"id='\" . $id . \"'\");\n";
+  std::istringstream In(Php);
+  std::ostringstream Out, Err;
+  int Exit = tools::runMain({"analyze", "--stats=" + StatsPath.string(), "-"},
+                            In, Out, Err);
+  EXPECT_EQ(Exit, 0) << Err.str() << Out.str();
+  Json Doc = parseFileOrDie(StatsPath);
+  EXPECT_EQ(Doc.find("command")->asString(), "analyze");
+  EXPECT_TRUE(Doc.find("result")->find("vulnerable")->asBool());
+  EXPECT_GE(Doc.find("analysis")->find("num_constraints")->asUnsigned(), 1u);
+  EXPECT_GT(Doc.find("automata")->find("total_states_visited")->asUnsigned(),
+            0u);
+  std::filesystem::remove(StatsPath);
+}

@@ -3,6 +3,7 @@
 #include "tools/Commands.h"
 
 #include "automata/NfaOps.h"
+#include "automata/OpStats.h"
 #include "automata/Print.h"
 #include "automata/Serialize.h"
 #include "miniphp/Analysis.h"
@@ -12,6 +13,9 @@
 #include "regex/RegexParser.h"
 #include "solver/ConstraintParser.h"
 #include "solver/Solver.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <filesystem>
 #include <fstream>
@@ -74,10 +78,99 @@ bool loadMachine(const std::string &Spec, Nfa &Out, std::ostream &Err) {
   return true;
 }
 
+/// Shared --stats=/--trace= handling (see docs/OBSERVABILITY.md for the
+/// emitted schemas). The collector is armed before the measured work and
+/// the files are written after it; on a hard input error (exit code 2)
+/// nothing is written.
+struct ObservabilityOptions {
+  std::string StatsPath;
+  std::string TracePath;
+  /// Set when an option was recognized but malformed (empty path).
+  std::string ArgError;
+
+  /// Returns true when \p Arg is one of ours (and consumes it).
+  bool consume(const std::string &Arg) {
+    for (const char *Prefix : {"--stats=", "--trace="}) {
+      if (Arg.rfind(Prefix, 0) != 0)
+        continue;
+      std::string Value = Arg.substr(std::char_traits<char>::length(Prefix));
+      if (Value.empty())
+        ArgError = std::string("error: ") +
+                   std::string(Prefix, 7) + " requires a file path\n";
+      else
+        (Prefix[2] == 's' ? StatsPath : TracePath) = std::move(Value);
+      return true;
+    }
+    return false;
+  }
+
+  bool traceRequested() const { return !TracePath.empty(); }
+
+  void beginTrace() const {
+    if (traceRequested())
+      TraceCollector::global().start();
+  }
+
+  /// Builds the common JSON envelope both artifacts share.
+  static Json envelope(const char *Command, const std::string &Input) {
+    Json Out = Json::object();
+    Out["schema_version"] = 1;
+    Out["tool"] = "dprle";
+    Out["command"] = Command;
+    Out["input"] = Input;
+    return Out;
+  }
+
+  /// Writes the trace artifact (if requested) and stops the collector.
+  bool finishTrace(const char *Command, const std::string &Input,
+                   std::ostream &Err) const {
+    if (!traceRequested())
+      return true;
+    TraceCollector &TC = TraceCollector::global();
+    TC.stop();
+    Json Out = envelope(Command, Input);
+    Out["trace"] = TC.toJson();
+    return writeJson(TracePath, Out, Err);
+  }
+
+  static bool writeJson(const std::string &Path, const Json &J,
+                        std::ostream &Err) {
+    std::ofstream Out(Path);
+    if (!Out) {
+      Err << "error: cannot write " << Path << "\n";
+      return false;
+    }
+    Out << J.dump() << "\n";
+    return true;
+  }
+};
+
+/// Renders a registry snapshot-delta as the "automata" stats section,
+/// appending the derived headline total (see OpStats::totalStatesVisited
+/// for why epsilon_closure_steps is not part of the total).
+Json automataSection(const StatsRegistry::Snapshot &Before,
+                     const StatsRegistry::Snapshot &After) {
+  StatsRegistry::Snapshot Delta = StatsRegistry::delta(Before, After);
+  Json Out = Json::object();
+  uint64_t Total = 0;
+  for (const auto &[Name, Value] : Delta) {
+    if (Name.rfind("automata.", 0) != 0)
+      continue;
+    std::string Short = Name.substr(std::char_traits<char>::length("automata."));
+    Out[Short] = Value;
+    if (Short != "epsilon_closure_steps")
+      Total += Value;
+  }
+  Out["total_states_visited"] = Total;
+  return Out;
+}
+
 void printUsage(std::ostream &Err) {
   Err << "usage:\n"
-      << "  dprle solve [--first] <file.rma | ->\n"
-      << "  dprle analyze [--attack=sql|xss] [--all] <file.php | ->\n"
+      << "  dprle solve [--first] [--stats=<file.json>] "
+         "[--trace=<file.json>] <file.rma | ->\n"
+      << "  dprle analyze [--attack=sql|xss] [--all] [--stats=<file.json>]\n"
+      << "                [--trace=<file.json>] <file.php | ->\n"
       << "  dprle automata <op> <machine...>\n"
       << "     ops: info, minimize, complement, dot, to-regex, shortest,\n"
       << "          enumerate, intersect, union, concat, equiv, subset,\n"
@@ -93,15 +186,22 @@ int dprle::tools::runSolve(const std::vector<std::string> &Args,
                            std::istream &In, std::ostream &Out,
                            std::ostream &Err) {
   SolverOptions Opts;
+  ObservabilityOptions Obs;
   std::string Path;
   for (const std::string &Arg : Args) {
     if (Arg == "--first")
       Opts.MaxSolutions = 1;
+    else if (Obs.consume(Arg))
+      continue;
     else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       Err << "error: unknown option " << Arg << "\n";
       return 2;
     } else
       Path = Arg;
+  }
+  if (!Obs.ArgError.empty()) {
+    Err << Obs.ArgError;
+    return 2;
   }
   if (Path.empty()) {
     Err << "error: no input file (use '-' for stdin)\n";
@@ -116,7 +216,31 @@ int dprle::tools::runSolve(const std::vector<std::string> &Args,
         << "\n";
     return 2;
   }
+
+  StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
+  Obs.beginTrace();
   SolveResult R = Solver(Opts).solve(Parsed.Instance);
+  bool ArtifactsOk = Obs.finishTrace("solve", Path, Err);
+  if (!Obs.StatsPath.empty()) {
+    Json Doc = ObservabilityOptions::envelope("solve", Path);
+    Json Result = Json::object();
+    Result["satisfiable"] = R.Satisfiable;
+    Result["assignments"] = static_cast<uint64_t>(R.Assignments.size());
+    Result["exit_code"] = R.Satisfiable ? 0 : 1;
+    Doc["result"] = std::move(Result);
+    Json SolverSection = Json::object();
+    for (const auto &[Name, Value] : R.Stats.counters())
+      SolverSection[Name] = Value;
+    SolverSection["solve_seconds"] = R.Stats.SolveSeconds;
+    Doc["solver"] = std::move(SolverSection);
+    Doc["automata"] =
+        automataSection(Before, StatsRegistry::global().snapshot());
+    ArtifactsOk =
+        ObservabilityOptions::writeJson(Obs.StatsPath, Doc, Err) && ArtifactsOk;
+  }
+  if (!ArtifactsOk)
+    return 2;
+
   if (!R.Satisfiable) {
     Out << "unsat\n";
     return 1;
@@ -141,6 +265,7 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
                              std::ostream &Err) {
   miniphp::AttackSpec Attack = miniphp::AttackSpec::sqlQuote();
   miniphp::AnalysisOptions Opts;
+  ObservabilityOptions Obs;
   std::string Path;
   for (const std::string &Arg : Args) {
     if (Arg == "--attack=sql") {
@@ -150,12 +275,18 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
     } else if (Arg == "--all") {
       Opts.StopAtFirstVulnerability = false;
       Opts.SymExec.StopAtFirstSink = false;
+    } else if (Obs.consume(Arg)) {
+      continue;
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       Err << "error: unknown option " << Arg << "\n";
       return 2;
     } else {
       Path = Arg;
     }
+  }
+  if (!Obs.ArgError.empty()) {
+    Err << Obs.ArgError;
+    return 2;
   }
   if (Path.empty()) {
     Err << "error: no input file (use '-' for stdin)\n";
@@ -164,11 +295,34 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
   std::string Source;
   if (!readInput(Path, In, Source, Err))
     return 2;
+  StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
+  Obs.beginTrace();
   miniphp::AnalysisResult R = analyzeSource(Source, Attack, Opts);
+  bool ArtifactsOk = Obs.finishTrace("analyze", Path, Err);
   if (!R.ParseOk) {
     Err << Path << ": parse error: " << R.ParseError << "\n";
     return 2;
   }
+  if (!Obs.StatsPath.empty()) {
+    Json Doc = ObservabilityOptions::envelope("analyze", Path);
+    Json Result = Json::object();
+    Result["vulnerable"] = R.vulnerable();
+    Result["exit_code"] = R.vulnerable() ? 0 : 1;
+    Doc["result"] = std::move(Result);
+    Json Analysis = Json::object();
+    Analysis["blocks"] = static_cast<uint64_t>(R.NumBlocks);
+    Analysis["sink_paths"] = static_cast<uint64_t>(R.SinkPaths);
+    Analysis["vulnerable_paths"] = static_cast<uint64_t>(R.VulnerablePaths);
+    Analysis["num_constraints"] = static_cast<uint64_t>(R.NumConstraints);
+    Analysis["solve_seconds"] = R.SolveSeconds;
+    Doc["analysis"] = std::move(Analysis);
+    Doc["automata"] =
+        automataSection(Before, StatsRegistry::global().snapshot());
+    ArtifactsOk =
+        ObservabilityOptions::writeJson(Obs.StatsPath, Doc, Err) && ArtifactsOk;
+  }
+  if (!ArtifactsOk)
+    return 2;
   Out << "blocks: " << R.NumBlocks << ", sink paths: " << R.SinkPaths
       << ", vulnerable paths: " << R.VulnerablePaths << "\n";
   if (!R.vulnerable()) {

@@ -11,6 +11,11 @@
 ///   dprle automata <op> <machine...>             automata calculator
 ///   dprle corpus <directory>                     dump the Fig. 11 corpus
 ///
+/// `solve` and `analyze` additionally accept `--stats=<file.json>` and
+/// `--trace=<file.json>`, which emit machine-readable run statistics and
+/// a hierarchical phase trace; the schemas are documented in
+/// docs/OBSERVABILITY.md.
+///
 /// Machines are given either as /regex/ literals (extended dialect: `&`
 /// intersection, `~` complement) or as paths to files in the serialized
 /// NFA format of automata/Serialize.h.
