@@ -31,8 +31,12 @@ AnalysisResult dprle::miniphp::analyzeSource(const std::string &Source,
   Cfg G = Cfg::build(Prog);
   Result.NumBlocks = G.numBlocks();
 
-  std::vector<PathCondition> Paths =
-      enumerateSinkPaths(Prog, G, Attack, Opts.SymExec);
+  SymExecOptions SymOpts = Opts.SymExec;
+  SymOpts.TaintPrune = Opts.TaintPrune;
+  SymExecResult Sym = runSymExec(Prog, G, Attack, SymOpts);
+  Result.SinksFound = Sym.SinksFound;
+  Result.SinksProvenSafe = Sym.SinksProvenSafe;
+  const std::vector<PathCondition> &Paths = Sym.Paths;
   Result.SinkPaths = Paths.size();
 
   Solver TheSolver(Opts.Solver);

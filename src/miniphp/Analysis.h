@@ -32,6 +32,11 @@ struct AnalysisOptions {
   /// ("we attempt to find inputs for the first vulnerability in each
   /// file").
   bool StopAtFirstVulnerability = true;
+  /// Run the taint dataflow pre-pass and slicing (miniphp/Taint.h,
+  /// miniphp/Slice.h) to prune path exploration. Sound: never changes
+  /// the vulnerable/safe verdict (see docs/TAINT.md); only skips work
+  /// whose outcome is already known.
+  bool TaintPrune = true;
 
   AnalysisOptions() {
     // Witness generation needs any satisfying assignment; skip the
@@ -48,6 +53,13 @@ struct AnalysisResult {
 
   /// |FG|: basic blocks in the file's CFG.
   unsigned NumBlocks = 0;
+  /// Sinks matching the attack spec in the (unrolled) CFG. Zero means
+  /// the file has nothing to audit — a different claim than "audited
+  /// and found safe" (see noSinks()).
+  unsigned SinksFound = 0;
+  /// Sinks the taint pre-pass proved safe without solving (0 when
+  /// TaintPrune is off).
+  unsigned SinksProvenSafe = 0;
   /// Paths that reached a sink.
   unsigned SinkPaths = 0;
   /// Paths whose constraint system was satisfiable (vulnerable).
@@ -71,6 +83,9 @@ struct AnalysisResult {
   std::set<unsigned> SliceLines;
 
   bool vulnerable() const { return VulnerablePaths > 0; }
+  /// True when the file parsed but contains no sink to audit; "not
+  /// vulnerable" would overstate what was checked.
+  bool noSinks() const { return ParseOk && SinksFound == 0; }
 };
 
 /// Runs the full pipeline on \p Source.

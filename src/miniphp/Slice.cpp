@@ -1,0 +1,149 @@
+//===- Slice.cpp - Backward slices from taint sinks -----------------------===//
+
+#include "miniphp/Slice.h"
+#include "support/Trace.h"
+
+#include <deque>
+#include <map>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+const SinkSlice *SliceResult::sliceFor(const Stmt *S) const {
+  for (const SinkSlice &Slice : Slices)
+    if (Slice.Sink == S)
+      return &Slice;
+  return nullptr;
+}
+
+namespace {
+
+void addVars(const StrExpr &E, std::set<std::string> &Vars) {
+  for (const Atom &A : E)
+    if (A.AtomKind == Atom::Kind::Variable)
+      Vars.insert(A.Text);
+}
+
+/// Blocks from which \p Targets (blocks containing a sink of interest)
+/// are reachable, computed backward over \p Preds. A target block itself
+/// counts as reaching.
+std::vector<char> reachesTargets(const Cfg &G,
+                                 const std::vector<std::vector<BlockId>> &Preds,
+                                 const std::vector<char> &Targets) {
+  std::vector<char> Reaches(G.numBlocks(), 0);
+  std::deque<BlockId> Work;
+  for (BlockId B = 0; B != G.numBlocks(); ++B)
+    if (Targets[B]) {
+      Reaches[B] = 1;
+      Work.push_back(B);
+    }
+  while (!Work.empty()) {
+    BlockId B = Work.front();
+    Work.pop_front();
+    for (BlockId P : Preds[B])
+      if (!Reaches[P]) {
+        Reaches[P] = 1;
+        Work.push_back(P);
+      }
+  }
+  return Reaches;
+}
+
+/// Closes \p Vars over the assignments of \p G: while some `v = expr`
+/// assigns a relevant `v`, the variables of `expr` are relevant too.
+/// Only blocks with \p InScope set contribute definitions.
+void closeOverAssigns(const Cfg &G, const std::vector<char> &InScope,
+                      std::set<std::string> &Vars) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B = 0; B != G.numBlocks(); ++B) {
+      if (!InScope[B])
+        continue;
+      for (const Stmt *S : G.block(B).Stmts) {
+        if (S->StmtKind != Stmt::Kind::Assign || !Vars.count(S->Target))
+          continue;
+        for (const Atom &A : S->Value)
+          if (A.AtomKind == Atom::Kind::Variable &&
+              Vars.insert(A.Text).second)
+            Changed = true;
+      }
+    }
+  }
+}
+
+} // namespace
+
+SliceResult dprle::miniphp::computeSlices(const Cfg &G, const TaintResult &T) {
+  DPRLE_TRACE_SPAN("taint_slice");
+  SliceResult Result;
+  if (!T.Ok)
+    return Result;
+
+  std::vector<std::vector<BlockId>> Preds(G.numBlocks());
+  std::map<const Stmt *, BlockId> SinkBlock;
+  for (BlockId B = 0; B != G.numBlocks(); ++B) {
+    for (BlockId S : G.block(B).Succs)
+      Preds[S].push_back(B);
+    for (const Stmt *S : G.block(B).Stmts)
+      if (S->StmtKind == Stmt::Kind::Sink)
+        SinkBlock[S] = B;
+  }
+
+  // Per-sink slices: the sink's own variables plus the condition
+  // variables of every guarding branch, closed over the assignments in
+  // the blocks that can reach the sink; the slice lines are those
+  // definitions, the guards, and the sink itself.
+  for (const SinkFact &Fact : T.Sinks) {
+    SinkSlice Slice;
+    Slice.Sink = Fact.Sink;
+    Slice.Line = Fact.Line;
+    Slice.Lines.insert(Fact.Line);
+    auto It = SinkBlock.find(Fact.Sink);
+    if (It == SinkBlock.end()) {
+      Result.Slices.push_back(std::move(Slice));
+      continue;
+    }
+    std::vector<char> Target(G.numBlocks(), 0);
+    Target[It->second] = 1;
+    std::vector<char> Guards = reachesTargets(G, Preds, Target);
+
+    addVars(Fact.Sink->Arg, Slice.Vars);
+    for (BlockId B = 0; B != G.numBlocks(); ++B)
+      if (Guards[B] && G.block(B).Terminator)
+        addVars(G.block(B).Terminator->Cond.Operand, Slice.Vars);
+    closeOverAssigns(G, Guards, Slice.Vars);
+
+    for (BlockId B = 0; B != G.numBlocks(); ++B) {
+      if (!Guards[B])
+        continue;
+      for (const Stmt *S : G.block(B).Stmts) {
+        if (B == It->second && S == Fact.Sink)
+          break; // statements after the sink cannot affect it
+        if (S->StmtKind == Stmt::Kind::Assign && Slice.Vars.count(S->Target))
+          Slice.Lines.insert(S->Line);
+        if (S->StmtKind == Stmt::Kind::Call && !S->Target.empty() &&
+            Slice.Vars.count(S->Target))
+          Slice.Lines.insert(S->Line);
+      }
+      if (G.block(B).Terminator && B != It->second)
+        Slice.Lines.insert(G.block(B).Terminator->Line);
+    }
+    Result.Slices.push_back(std::move(Slice));
+  }
+
+  // Program-wide pruning summaries over the live sinks only.
+  std::vector<char> LiveTargets(G.numBlocks(), 0);
+  for (unsigned I = 0; I != T.Sinks.size(); ++I) {
+    if (T.Sinks[I].ProvenSafe)
+      continue;
+    Result.RelevantVars.insert(Result.Slices[I].Vars.begin(),
+                               Result.Slices[I].Vars.end());
+    auto It = SinkBlock.find(T.Sinks[I].Sink);
+    if (It != SinkBlock.end())
+      LiveTargets[It->second] = 1;
+  }
+  Result.ReachesLiveSink = reachesTargets(G, Preds, LiveTargets);
+  Result.Ok = true;
+  return Result;
+}

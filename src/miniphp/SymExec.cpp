@@ -2,6 +2,8 @@
 
 #include "miniphp/SymExec.h"
 #include "automata/NfaOps.h"
+#include "miniphp/Slice.h"
+#include "miniphp/Taint.h"
 #include "regex/RegexCompiler.h"
 #include "regex/RegexParser.h"
 #include "solver/Extensions.h"
@@ -116,6 +118,16 @@ public:
            const SymExecOptions &Opts)
       : G(G), Attack(Attack), Opts(Opts) {
     (void)P;
+  }
+
+  /// Arms taint-based pruning. \p Taint and \p Slices must outlive the
+  /// explorer and both be Ok.
+  void enablePruning(const TaintResult &Taint, const SliceResult &Slices) {
+    assert(Taint.Ok && Slices.Ok && "pruning needs usable facts");
+    PruneSlices = &Slices;
+    for (const SinkFact &Fact : Taint.Sinks)
+      if (Fact.ProvenSafe)
+        SafeSinks.insert(Fact.Sink);
   }
 
   std::vector<PathCondition> run() {
@@ -233,11 +245,25 @@ private:
   void explore(PathState State) {
     if (Results.size() >= Opts.MaxPaths)
       return;
+    if (PruneSlices && !PruneSlices->ReachesLiveSink[State.Block]) {
+      // No live (not proven-safe) sink is reachable from here: every
+      // suffix path either ends sink-free or at a sink whose constraint
+      // system is unsatisfiable by construction.
+      ++TaintStats::global().BlocksPruned;
+      return;
+    }
     const BasicBlock &Block = G.block(State.Block);
     for (size_t I = State.StmtIndex; I != Block.Stmts.size(); ++I) {
       const Stmt *S = Block.Stmts[I];
       switch (S->StmtKind) {
       case Stmt::Kind::Assign: {
+        if (PruneSlices && !PruneSlices->RelevantVars.count(S->Target)) {
+          // The target is outside every live sink's slice: its value can
+          // reach neither a live sink expression nor a branch condition
+          // guarding one, so the binding is unobservable.
+          ++TaintStats::global().AssignsSkipped;
+          break;
+        }
         SymValue V = eval(S->Value, State);
         V.Lines.insert(S->Line);
         State.Env[S->Target] = std::move(V);
@@ -246,6 +272,16 @@ private:
       case Stmt::Kind::Sink: {
         if (!Attack.appliesTo(S->Callee))
           break; // Not a sink for this audit.
+        if (SafeSinks.count(S)) {
+          // Proven safe by the taint pre-pass: the baseline would emit
+          // this path and solve it to unsat. Mirror its path shape — a
+          // first sink still ends the path under StopAtFirstSink — but
+          // skip the instance and the solve.
+          ++TaintStats::global().SinkPathsPruned;
+          if (Opts.StopAtFirstSink)
+            return;
+          break;
+        }
         SymValue Query = eval(S->Arg, State);
         PathCondition PC;
         PC.Instance = State.Instance; // copy: path continues afterwards
@@ -297,6 +333,12 @@ private:
       // edge (either the else head or the join block).
       assert(Block.Succs.size() == 2 && "if block must have two succs");
       for (unsigned Edge = 0; Edge != 2; ++Edge) {
+        if (PruneSlices && !PruneSlices->ReachesLiveSink[Block.Succs[Edge]]) {
+          // Skip building the branch constraint too: no path condition
+          // will ever be emitted from the pruned side.
+          ++TaintStats::global().BlocksPruned;
+          continue;
+        }
         PathState Next = State;
         addConditionConstraint(Cond, /*Taken=*/Edge == 0,
                                Block.Terminator->Line, Next);
@@ -317,14 +359,45 @@ private:
   const Cfg &G;
   const AttackSpec &Attack;
   const SymExecOptions &Opts;
+  /// Non-null when taint pruning is armed (enablePruning).
+  const SliceResult *PruneSlices = nullptr;
+  /// Sinks the taint pre-pass proved safe.
+  std::set<const Stmt *> SafeSinks;
   std::vector<PathCondition> Results;
 };
 
 } // namespace
 
+SymExecResult dprle::miniphp::runSymExec(const Program &P, const Cfg &G,
+                                         const AttackSpec &Attack,
+                                         const SymExecOptions &Opts) {
+  SymExecResult Result;
+  for (BlockId B = 0; B != G.numBlocks(); ++B)
+    for (const Stmt *S : G.block(B).Stmts)
+      if (S->StmtKind == Stmt::Kind::Sink && Attack.appliesTo(S->Callee))
+        ++Result.SinksFound;
+
+  Explorer E(P, G, Attack, Opts);
+  TaintResult Taint;
+  SliceResult Slices;
+  if (Opts.TaintPrune) {
+    Taint = analyzeTaint(P, G, Attack);
+    if (Taint.Ok) {
+      Slices = computeSlices(G, Taint);
+      if (Slices.Ok) {
+        E.enablePruning(Taint, Slices);
+        Result.TaintUsed = true;
+        Result.SinksProvenSafe = Taint.numProvenSafe();
+      }
+    }
+  }
+  Result.Paths = E.run();
+  return Result;
+}
+
 std::vector<PathCondition>
 dprle::miniphp::enumerateSinkPaths(const Program &P, const Cfg &G,
                                    const AttackSpec &Attack,
                                    const SymExecOptions &Opts) {
-  return Explorer(P, G, Attack, Opts).run();
+  return runSymExec(P, G, Attack, Opts).Paths;
 }

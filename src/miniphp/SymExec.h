@@ -77,10 +77,38 @@ struct SymExecOptions {
   /// Stop exploring a path at its first sink (statements after the first
   /// vulnerable query do not affect that query's inputs).
   bool StopAtFirstSink = true;
+  /// Run the taint dataflow pre-pass (miniphp/Taint.h) and backward
+  /// slices (miniphp/Slice.h) before exploring, and use the facts to
+  /// prune: proven-safe sinks emit no path, exploration stops at blocks
+  /// that cannot reach a live sink, and assignments to variables outside
+  /// the live slices are skipped. Never changes which paths are
+  /// *vulnerable* (see docs/TAINT.md). Off here so raw enumeration keeps
+  /// its exact baseline path counts; AnalysisOptions turns it on.
+  bool TaintPrune = false;
 };
 
+/// The outcome of one symbolic-execution run.
+struct SymExecResult {
+  /// One RMA instance per explored sink-reaching path.
+  std::vector<PathCondition> Paths;
+  /// Sinks matching the attack spec in the CFG (0 = nothing to audit).
+  unsigned SinksFound = 0;
+  /// Sinks the taint pre-pass proved safe without solving (0 when
+  /// TaintPrune is off or the pre-pass could not run).
+  unsigned SinksProvenSafe = 0;
+  /// True when the taint pre-pass ran and its facts were used.
+  bool TaintUsed = false;
+};
+
+/// Explores the acyclic paths of \p G (over \p P) that reach a sink and
+/// translates each into an RMA instance, optionally pruning with taint
+/// facts (SymExecOptions::TaintPrune).
+SymExecResult runSymExec(const Program &P, const Cfg &G,
+                         const AttackSpec &Attack,
+                         const SymExecOptions &Opts = {});
+
 /// Enumerates the acyclic paths of \p G (over \p P) that reach a sink and
-/// translates each into an RMA instance.
+/// translates each into an RMA instance (the Paths of runSymExec).
 std::vector<PathCondition> enumerateSinkPaths(const Program &P,
                                               const Cfg &G,
                                               const AttackSpec &Attack,

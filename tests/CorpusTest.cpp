@@ -88,9 +88,50 @@ TEST(CorpusTest, BenignSourceIsNotVulnerable) {
     std::string Source = generateBenignSource(Seed, 120);
     AnalysisResult R = analyzeSource(Source, AttackSpec::sqlQuote());
     ASSERT_TRUE(R.ParseOk) << R.ParseError;
-    EXPECT_GE(R.SinkPaths, 1u); // loop unrolling multiplies paths
+    EXPECT_GE(R.SinksFound, 1u); // the generator always emits sinks
     EXPECT_FALSE(R.vulnerable());
+
+    // The un-pruned pipeline walks the sink paths (loop unrolling
+    // multiplies them) and reaches the same verdict.
+    AnalysisOptions NoPrune;
+    NoPrune.TaintPrune = false;
+    AnalysisResult Raw = analyzeSource(Source, AttackSpec::sqlQuote(),
+                                       NoPrune);
+    ASSERT_TRUE(Raw.ParseOk) << Raw.ParseError;
+    EXPECT_GE(Raw.SinkPaths, 1u);
+    EXPECT_FALSE(Raw.vulnerable());
   }
+}
+
+TEST(CorpusTest, TaintPruningNeverChangesFig11Verdicts) {
+  // Prune-soundness regression test: over the whole Fig. 11 corpus the
+  // taint pre-pass must report the exact same vulnerable-file set as the
+  // un-pruned pipeline, while symbolically executing fewer sink paths
+  // for at least one file.
+  unsigned PrunedPaths = 0, RawPaths = 0, FilesWithFewerPaths = 0;
+  for (const Suite &S : figure11Suites()) {
+    for (const SuiteFile &F : S.Files) {
+      SCOPED_TRACE(S.Name + "/" + F.Name);
+      AnalysisOptions Pruned;
+      Pruned.Solver.CanonicalizeConstants = F.Name == "secure.php";
+      AnalysisOptions Raw = Pruned;
+      Raw.TaintPrune = false;
+      AnalysisResult PR = analyzeSource(F.Source, AttackSpec::sqlQuote(),
+                                        Pruned);
+      AnalysisResult RR = analyzeSource(F.Source, AttackSpec::sqlQuote(),
+                                        Raw);
+      ASSERT_TRUE(PR.ParseOk) << PR.ParseError;
+      ASSERT_TRUE(RR.ParseOk) << RR.ParseError;
+      EXPECT_EQ(PR.vulnerable(), RR.vulnerable());
+      EXPECT_EQ(PR.noSinks(), RR.noSinks());
+      EXPECT_LE(PR.SinkPaths, RR.SinkPaths);
+      PrunedPaths += PR.SinkPaths;
+      RawPaths += RR.SinkPaths;
+      FilesWithFewerPaths += PR.SinkPaths < RR.SinkPaths;
+    }
+  }
+  EXPECT_LT(PrunedPaths, RawPaths);
+  EXPECT_GE(FilesWithFewerPaths, 1u);
 }
 
 TEST(CorpusTest, BenignSourceHitsLineTarget) {

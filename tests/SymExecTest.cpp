@@ -67,10 +67,23 @@ TEST(SymExecTest, FixedFilterIsNotVulnerable) {
   size_t At = Fixed.find("/[\\d]+$/");
   ASSERT_NE(At, std::string::npos);
   Fixed.replace(At, 8, "/^[\\d]+$/");
+  // Default pipeline: the taint pre-pass proves the anchored filter makes
+  // the sink safe, so no path is even solved.
   AnalysisResult R = analyzeSource(Fixed, AttackSpec::sqlQuote());
   ASSERT_TRUE(R.ParseOk) << R.ParseError;
-  EXPECT_EQ(R.SinkPaths, 1u);
+  EXPECT_EQ(R.SinksFound, 1u);
+  EXPECT_EQ(R.SinksProvenSafe, 1u);
+  EXPECT_EQ(R.SinkPaths, 0u);
   EXPECT_FALSE(R.vulnerable());
+
+  // Un-pruned baseline: the path is enumerated and solved to unsat —
+  // the same verdict the slow way.
+  AnalysisOptions NoPrune;
+  NoPrune.TaintPrune = false;
+  AnalysisResult Raw = analyzeSource(Fixed, AttackSpec::sqlQuote(), NoPrune);
+  ASSERT_TRUE(Raw.ParseOk) << Raw.ParseError;
+  EXPECT_EQ(Raw.SinkPaths, 1u);
+  EXPECT_FALSE(Raw.vulnerable());
 }
 
 TEST(SymExecTest, BothBranchesAreExplored) {
@@ -95,8 +108,22 @@ TEST(SymExecTest, InfeasiblePathIsRuledOut) {
   )",
                                    AttackSpec::sqlQuote());
   ASSERT_TRUE(R.ParseOk) << R.ParseError;
-  EXPECT_EQ(R.SinkPaths, 1u);
+  // The equality guard is a full taint kill ($x is exactly 'safe' in the
+  // then-branch), so the pre-pass rules the path out without solving.
+  EXPECT_EQ(R.SinksProvenSafe, 1u);
+  EXPECT_EQ(R.SinkPaths, 0u);
   EXPECT_FALSE(R.vulnerable());
+
+  AnalysisOptions NoPrune;
+  NoPrune.TaintPrune = false;
+  AnalysisResult Raw = analyzeSource(R"(
+    $x = $_GET['q'];
+    if ($x == 'safe') { query("k=" . $x); } else { exit; }
+  )",
+                                     AttackSpec::sqlQuote(), NoPrune);
+  ASSERT_TRUE(Raw.ParseOk) << Raw.ParseError;
+  EXPECT_EQ(Raw.SinkPaths, 1u);
+  EXPECT_FALSE(Raw.vulnerable());
 }
 
 TEST(SymExecTest, EqualityConstraintFeedsWitness) {
@@ -151,11 +178,22 @@ TEST(SymExecTest, MultipleInputsEachGetWitnesses) {
 }
 
 TEST(SymExecTest, UnassignedVariableIsEmptyString) {
+  // "" . "=1" never contains a quote, so the pre-pass proves the sink
+  // safe outright; the baseline solves the one path to unsat.
   AnalysisResult R = analyzeSource("query($never . \"=1\");",
                                    AttackSpec::sqlQuote());
   ASSERT_TRUE(R.ParseOk) << R.ParseError;
-  EXPECT_EQ(R.SinkPaths, 1u);
-  EXPECT_FALSE(R.vulnerable()); // "" . "=1" never contains a quote
+  EXPECT_EQ(R.SinksProvenSafe, 1u);
+  EXPECT_EQ(R.SinkPaths, 0u);
+  EXPECT_FALSE(R.vulnerable());
+
+  AnalysisOptions NoPrune;
+  NoPrune.TaintPrune = false;
+  AnalysisResult Raw = analyzeSource("query($never . \"=1\");",
+                                     AttackSpec::sqlQuote(), NoPrune);
+  ASSERT_TRUE(Raw.ParseOk) << Raw.ParseError;
+  EXPECT_EQ(Raw.SinkPaths, 1u);
+  EXPECT_FALSE(Raw.vulnerable());
 }
 
 TEST(SymExecTest, NoSinkMeansNoPaths) {

@@ -1,0 +1,239 @@
+//===- TaintTest.cpp - Taint dataflow and slicing unit tests --------------===//
+//
+// Pins the taint lattice (join, sanitizer kills, loop fixpoint under
+// unrolling), the proven-safe criterion, the backward slices, and the
+// soundness of taint-driven pruning in the symbolic executor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniphp/Taint.h"
+#include "miniphp/Parser.h"
+#include "miniphp/Slice.h"
+#include "miniphp/SymExec.h"
+#include "miniphp/Unroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+namespace {
+
+/// Parses, unrolls, builds the CFG, and runs the taint pass — the same
+/// front half of the pipeline Analysis.cpp drives.
+struct TaintRun {
+  Program Prog;
+  Cfg G;
+  TaintResult T;
+
+  explicit TaintRun(const std::string &Source, unsigned Unroll = 3) {
+    ParseResult R = parseProgram(Source);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Prog = unrollLoops(R.Prog, Unroll);
+    G = Cfg::build(Prog);
+    T = analyzeTaint(Prog, G, AttackSpec::sqlQuote());
+    EXPECT_TRUE(T.Ok);
+  }
+};
+
+} // namespace
+
+TEST(TaintTest, JoinIsLeastUpperBound) {
+  using L = TaintLevel;
+  for (L A : {L::Untainted, L::Tainted, L::Top}) {
+    EXPECT_EQ(joinTaint(A, A), A);               // idempotent
+    EXPECT_EQ(joinTaint(L::Untainted, A), A);    // bottom is identity
+    EXPECT_EQ(joinTaint(A, L::Top), L::Top);     // top absorbs
+    for (L B : {L::Untainted, L::Tainted, L::Top})
+      EXPECT_EQ(joinTaint(A, B), joinTaint(B, A)); // commutative
+  }
+  EXPECT_EQ(joinTaint(TaintLevel::Untainted, TaintLevel::Tainted),
+            TaintLevel::Tainted);
+}
+
+TEST(TaintTest, TaintedSourceReachesSink) {
+  TaintRun Run("$x = $_POST['k'];\nquery(\"id=\" . $x);\n");
+  ASSERT_EQ(Run.T.Sinks.size(), 1u);
+  const SinkFact &F = Run.T.Sinks.front();
+  EXPECT_EQ(F.Level, TaintLevel::Tainted);
+  EXPECT_FALSE(F.ProvenSafe);
+  EXPECT_TRUE(F.Reachable);
+  EXPECT_EQ(F.Sources, std::set<std::string>{"_POST:k"});
+  EXPECT_TRUE(F.ValueLines.count(1));
+  EXPECT_TRUE(F.ValueLines.count(2));
+}
+
+TEST(TaintTest, UntaintedIsNotEnoughToProveSafety) {
+  // The sink is fully constant — Untainted — yet still carries a quote,
+  // so the baseline pipeline reports it vulnerable. ProvenSafe must come
+  // from the language over-approximation, never from the level alone.
+  TaintRun Run("query(\"it's a constant\");\n");
+  ASSERT_EQ(Run.T.Sinks.size(), 1u);
+  EXPECT_EQ(Run.T.Sinks.front().Level, TaintLevel::Untainted);
+  EXPECT_FALSE(Run.T.Sinks.front().ProvenSafe);
+
+  TaintRun Clean("query(\"no quote here\");\n");
+  ASSERT_EQ(Clean.T.Sinks.size(), 1u);
+  EXPECT_TRUE(Clean.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, AnchoredPregMatchIsAPartialKill) {
+  // The taken branch narrows $x to digits: no quote can flow through.
+  // The value stays Tainted (it is still attacker-chosen) — only the
+  // language shrinks.
+  TaintRun Run("$x = $_POST['k'];\n"
+               "if (!preg_match('/^[0-9]+$/', $x)) { exit; }\n"
+               "query(\"id=\" . $x);\n");
+  ASSERT_EQ(Run.T.Sinks.size(), 1u);
+  EXPECT_EQ(Run.T.Sinks.front().Level, TaintLevel::Tainted);
+  EXPECT_TRUE(Run.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, UnanchoredPregMatchDoesNotProveSafety) {
+  // Figure 1's faulty filter: [\d]+$ leaves room for a quote before the
+  // digits, so the sink must stay live.
+  TaintRun Run("$x = $_POST['k'];\n"
+               "if (!preg_match('/[0-9]+$/', $x)) { exit; }\n"
+               "query(\"id=\" . $x);\n");
+  ASSERT_EQ(Run.T.Sinks.size(), 1u);
+  EXPECT_FALSE(Run.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, EqualityGuardIsAFullKill) {
+  // Inside the then-branch $x is exactly 'safe': Untainted, no quote.
+  TaintRun Run("$x = $_GET['q'];\n"
+               "if ($x == 'safe') { query(\"k=\" . $x); }\n");
+  ASSERT_EQ(Run.T.Sinks.size(), 1u);
+  EXPECT_EQ(Run.T.Sinks.front().Level, TaintLevel::Untainted);
+  EXPECT_TRUE(Run.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, NegatedOutcomeGetsNoRefinement) {
+  // On the else edge of `== 'safe'` the value is anything BUT 'safe' —
+  // refining to the literal would be unsound, so no kill applies.
+  TaintRun Run("$x = $_GET['q'];\n"
+               "if ($x == 'safe') { exit; }\n"
+               "query(\"k=\" . $x);\n");
+  ASSERT_EQ(Run.T.Sinks.size(), 1u);
+  EXPECT_EQ(Run.T.Sinks.front().Level, TaintLevel::Tainted);
+  EXPECT_FALSE(Run.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, JoinMergesBranchValues) {
+  // Both branches bind constants without quotes: the join stays safe.
+  TaintRun Safe("$q = $_GET['c'];\n"
+                "if (preg_match('/x/', $q)) { $y = 'a'; } "
+                "else { $y = 'b'; }\n"
+                "query($y);\n");
+  ASSERT_EQ(Safe.T.Sinks.size(), 1u);
+  EXPECT_TRUE(Safe.T.Sinks.front().ProvenSafe);
+
+  // One branch leaks the input: the join is tainted and live.
+  TaintRun Leaky("$q = $_GET['c'];\n"
+                 "if (preg_match('/x/', $q)) { $y = 'a'; } "
+                 "else { $y = $q; }\n"
+                 "query($y);\n");
+  ASSERT_EQ(Leaky.T.Sinks.size(), 1u);
+  EXPECT_EQ(Leaky.T.Sinks.front().Level, TaintLevel::Tainted);
+  EXPECT_FALSE(Leaky.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, OpaqueCallResultIsTop) {
+  TaintRun Run("$x = mystery();\nquery($x);\n");
+  ASSERT_EQ(Run.T.Sinks.size(), 1u);
+  EXPECT_EQ(Run.T.Sinks.front().Level, TaintLevel::Top);
+  EXPECT_FALSE(Run.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, LoopFixpointUnderUnroll) {
+  // The unrolled loop keeps appending untrusted input; every unrolled
+  // copy must agree the sink is live.
+  TaintRun Leaky("$s = 'x';\n"
+                 "while (preg_match('/y/', $_GET['c'])) "
+                 "{ $s = $s . $_GET['q']; }\n"
+                 "query($s);\n");
+  ASSERT_EQ(Leaky.T.Sinks.size(), 1u);
+  EXPECT_EQ(Leaky.T.Sinks.front().Level, TaintLevel::Tainted);
+  EXPECT_FALSE(Leaky.T.Sinks.front().ProvenSafe);
+  EXPECT_EQ(Leaky.T.Sinks.front().Sources.count("_GET:q"), 1u);
+
+  // A loop that only appends quote-free constants converges to a safe
+  // over-approximation across all unrolled iterations.
+  TaintRun Benign("$s = 'x';\n"
+                  "while (preg_match('/y/', $_GET['c'])) "
+                  "{ $s = $s . 'a'; }\n"
+                  "query($s);\n");
+  ASSERT_EQ(Benign.T.Sinks.size(), 1u);
+  EXPECT_TRUE(Benign.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, DeadCodeSinkIsUnreachable) {
+  // Both branches exit, so the join block holding the sink has no
+  // predecessors (Cfg keeps such dead blocks for the |FG| statistic).
+  TaintRun Run("$x = $_GET['q'];\n"
+               "if (preg_match('/a/', $x)) { exit; } else { exit; }\n"
+               "query($x);\n");
+  ASSERT_EQ(Run.T.Sinks.size(), 1u);
+  EXPECT_FALSE(Run.T.Sinks.front().Reachable);
+  EXPECT_TRUE(Run.T.Sinks.front().ProvenSafe);
+}
+
+TEST(TaintTest, SliceTracksDefsAndGuards) {
+  TaintRun Run("$a = $_GET['u'];\n"
+               "$junk = 'unrelated';\n"
+               "if (preg_match('/x/', $a)) { $b = $a . '!'; } "
+               "else { $b = 'c'; }\n"
+               "query($b);\n");
+  SliceResult S = computeSlices(Run.G, Run.T);
+  ASSERT_TRUE(S.Ok);
+  ASSERT_EQ(S.Slices.size(), 1u);
+  const SinkSlice &Slice = S.Slices.front();
+  // $b's definitions, $a's definition, the guard, and the sink — but
+  // not the unrelated line 2.
+  EXPECT_EQ(Slice.Lines, (std::set<unsigned>{1, 3, 4}));
+  EXPECT_EQ(Slice.Vars, (std::set<std::string>{"a", "b"}));
+  EXPECT_TRUE(S.RelevantVars.count("a"));
+  EXPECT_FALSE(S.RelevantVars.count("junk"));
+}
+
+TEST(TaintTest, NoLiveSinkMeansNothingIsRelevant) {
+  TaintRun Run("$x = $_POST['k'];\n"
+               "if (!preg_match('/^[0-9]+$/', $x)) { exit; }\n"
+               "query(\"id=\" . $x);\n");
+  SliceResult S = computeSlices(Run.G, Run.T);
+  ASSERT_TRUE(S.Ok);
+  EXPECT_TRUE(S.RelevantVars.empty());
+  for (BlockId B = 0; B != Run.G.numBlocks(); ++B)
+    EXPECT_FALSE(S.ReachesLiveSink[B]);
+}
+
+TEST(TaintTest, PruningDropsProvenSafeSinkPaths) {
+  // The then-sink is digits-only (safe); the else-sink is live. The
+  // pruned run must skip the safe path but reach the same verdict set.
+  const std::string Source =
+      "$x = $_GET['q'];\n"
+      "if (preg_match('/^[0-9]+$/', $x)) { query($x); } "
+      "else { query($x); }\n";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  Cfg G = Cfg::build(R.Prog);
+
+  SymExecOptions Raw;
+  SymExecResult Baseline =
+      runSymExec(R.Prog, G, AttackSpec::sqlQuote(), Raw);
+  EXPECT_FALSE(Baseline.TaintUsed);
+  EXPECT_EQ(Baseline.Paths.size(), 2u);
+  EXPECT_EQ(Baseline.SinksFound, 2u);
+
+  SymExecOptions Pruning;
+  Pruning.TaintPrune = true;
+  SymExecResult Pruned =
+      runSymExec(R.Prog, G, AttackSpec::sqlQuote(), Pruning);
+  EXPECT_TRUE(Pruned.TaintUsed);
+  EXPECT_EQ(Pruned.SinksProvenSafe, 1u);
+  ASSERT_EQ(Pruned.Paths.size(), 1u);
+  // The surviving path is the live else-sink, same line the baseline's
+  // second path reports.
+  EXPECT_EQ(Pruned.Paths.front().SinkLine,
+            Baseline.Paths.back().SinkLine);
+}

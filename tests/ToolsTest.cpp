@@ -120,6 +120,84 @@ TEST(ToolsTest, AnalyzeNotVulnerableExitCode) {
   EXPECT_NE(R.Out.find("not vulnerable"), std::string::npos);
 }
 
+TEST(ToolsTest, AnalyzeNoSinksExitCode) {
+  // "Parsed but nothing to audit" is exit 3, distinct from exit 1's
+  // "audited and found safe" above.
+  RunResult R = run({"analyze", "-"},
+                    "$x = $_GET['a'];\n$y = $x . 'b';\n");
+  EXPECT_EQ(R.Code, 3);
+  EXPECT_NE(R.Out.find("no sinks found"), std::string::npos);
+  EXPECT_EQ(R.Out.find("not vulnerable"), std::string::npos);
+}
+
+TEST(ToolsTest, AnalyzeNoTaintPruneFlag) {
+  const std::string Safe = "$x = $_POST['k'];\n"
+                           "if (!preg_match('/^[0-9]+$/', $x)) { exit; }\n"
+                           "query(\"id=\" . $x);\n";
+  RunResult Pruned = run({"analyze", "-"}, Safe);
+  EXPECT_EQ(Pruned.Code, 1);
+  EXPECT_NE(Pruned.Out.find("sink paths: 0"), std::string::npos);
+  // Same verdict the slow way: the path is enumerated and solved.
+  RunResult Raw = run({"analyze", "--no-taint-prune", "-"}, Safe);
+  EXPECT_EQ(Raw.Code, 1);
+  EXPECT_NE(Raw.Out.find("sink paths: 1"), std::string::npos);
+  EXPECT_NE(Raw.Out.find("not vulnerable"), std::string::npos);
+}
+
+TEST(ToolsTest, TaintReportNeedsSolving) {
+  RunResult R = run({"taint", "-"},
+                    "$x = $_POST['k'];\n"
+                    "if (!preg_match('/[0-9]+$/', $x)) { exit; }\n"
+                    "query(\"id=\" . $x);\n");
+  EXPECT_EQ(R.Code, 1);
+  EXPECT_NE(R.Out.find("sink at line 3 (query): tainted"),
+            std::string::npos);
+  EXPECT_NE(R.Out.find("sources: _POST:k"), std::string::npos);
+  EXPECT_NE(R.Out.find("verdict: needs solving"), std::string::npos);
+  EXPECT_NE(R.Out.find("slice: 1 2 3"), std::string::npos);
+}
+
+TEST(ToolsTest, TaintReportProvenSafe) {
+  RunResult R = run({"taint", "-"},
+                    "$x = $_POST['k'];\n"
+                    "if (!preg_match('/^[0-9]+$/', $x)) { exit; }\n"
+                    "query(\"id=\" . $x);\n");
+  EXPECT_EQ(R.Code, 0);
+  EXPECT_NE(R.Out.find("verdict: proven safe"), std::string::npos);
+  EXPECT_NE(R.Out.find("result: all sinks proven safe"),
+            std::string::npos);
+}
+
+TEST(ToolsTest, TaintNoSinksExitCode) {
+  RunResult R = run({"taint", "-"}, "$x = $_GET['a'];\n");
+  EXPECT_EQ(R.Code, 3);
+  EXPECT_NE(R.Out.find("no sinks found"), std::string::npos);
+}
+
+TEST(ToolsTest, TaintReportIsDeterministic) {
+  const std::string Source =
+      "$a = $_GET['u'];\n"
+      "$b = $_POST['v'];\n"
+      "if (preg_match('/x/', $a)) { $c = $a . $b; } else { $c = $b; }\n"
+      "query($c);\nquery('constant');\n";
+  RunResult First = run({"taint", "-"}, Source);
+  RunResult Second = run({"taint", "-"}, Source);
+  EXPECT_EQ(First.Code, 1);
+  EXPECT_EQ(First.Out, Second.Out);
+  EXPECT_EQ(First.Code, Second.Code);
+  // Two sinks, reported in program order with stable source sets.
+  EXPECT_NE(First.Out.find("sinks: 2, proven safe: 1"), std::string::npos);
+  EXPECT_NE(First.Out.find("sources: _GET:u _POST:v"), std::string::npos);
+}
+
+TEST(ToolsTest, TaintErrors) {
+  EXPECT_EQ(run({"taint", "--bogus", "-"}).Code, 2);
+  EXPECT_EQ(run({"taint"}).Code, 2);
+  RunResult R = run({"taint", "-"}, "$x = ;\n");
+  EXPECT_EQ(R.Code, 2);
+  EXPECT_NE(R.Err.find("parse error"), std::string::npos);
+}
+
 TEST(ToolsTest, AutomataInfo) {
   RunResult R = run({"automata", "info", "/(ab)+/"});
   EXPECT_EQ(R.Code, 0);

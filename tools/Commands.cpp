@@ -8,6 +8,11 @@
 #include "automata/Serialize.h"
 #include "miniphp/Analysis.h"
 #include "miniphp/Corpus.h"
+#include "miniphp/Inline.h"
+#include "miniphp/Parser.h"
+#include "miniphp/Slice.h"
+#include "miniphp/Taint.h"
+#include "miniphp/Unroll.h"
 #include "regex/NfaToRegex.h"
 #include "regex/RegexCompiler.h"
 #include "regex/RegexParser.h"
@@ -165,12 +170,30 @@ Json automataSection(const StatsRegistry::Snapshot &Before,
   return Out;
 }
 
+/// Renders the "miniphp.taint.*" registry delta as the "taint" stats
+/// section (short names, see docs/OBSERVABILITY.md).
+Json taintSection(const StatsRegistry::Snapshot &Before,
+                  const StatsRegistry::Snapshot &After) {
+  StatsRegistry::Snapshot Delta = StatsRegistry::delta(Before, After);
+  Json Out = Json::object();
+  const char *Prefix = "miniphp.taint.";
+  for (const auto &[Name, Value] : Delta) {
+    if (Name.rfind(Prefix, 0) != 0)
+      continue;
+    Out[Name.substr(std::char_traits<char>::length(Prefix))] = Value;
+  }
+  return Out;
+}
+
 void printUsage(std::ostream &Err) {
   Err << "usage:\n"
       << "  dprle solve [--first] [--stats=<file.json>] "
          "[--trace=<file.json>] <file.rma | ->\n"
-      << "  dprle analyze [--attack=sql|xss] [--all] [--stats=<file.json>]\n"
-      << "                [--trace=<file.json>] <file.php | ->\n"
+      << "  dprle analyze [--attack=sql|xss] [--all] [--no-taint-prune]\n"
+      << "                [--stats=<file.json>] [--trace=<file.json>] "
+         "<file.php | ->\n"
+      << "  dprle taint [--attack=sql|xss] [--stats=<file.json>]\n"
+      << "              [--trace=<file.json>] <file.php | ->\n"
       << "  dprle automata <op> <machine...>\n"
       << "     ops: info, minimize, complement, dot, to-regex, shortest,\n"
       << "          enumerate, intersect, union, concat, equiv, subset,\n"
@@ -275,6 +298,8 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
     } else if (Arg == "--all") {
       Opts.StopAtFirstVulnerability = false;
       Opts.SymExec.StopAtFirstSink = false;
+    } else if (Arg == "--no-taint-prune") {
+      Opts.TaintPrune = false;
     } else if (Obs.consume(Arg)) {
       continue;
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -303,28 +328,41 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
     Err << Path << ": parse error: " << R.ParseError << "\n";
     return 2;
   }
+  int ExitCode = R.vulnerable() ? 0 : (R.noSinks() ? 3 : 1);
   if (!Obs.StatsPath.empty()) {
     Json Doc = ObservabilityOptions::envelope("analyze", Path);
     Json Result = Json::object();
     Result["vulnerable"] = R.vulnerable();
-    Result["exit_code"] = R.vulnerable() ? 0 : 1;
+    Result["no_sinks"] = R.noSinks();
+    Result["exit_code"] = ExitCode;
     Doc["result"] = std::move(Result);
     Json Analysis = Json::object();
     Analysis["blocks"] = static_cast<uint64_t>(R.NumBlocks);
+    Analysis["sinks_found"] = static_cast<uint64_t>(R.SinksFound);
+    Analysis["sinks_proven_safe"] =
+        static_cast<uint64_t>(R.SinksProvenSafe);
     Analysis["sink_paths"] = static_cast<uint64_t>(R.SinkPaths);
     Analysis["vulnerable_paths"] = static_cast<uint64_t>(R.VulnerablePaths);
     Analysis["num_constraints"] = static_cast<uint64_t>(R.NumConstraints);
     Analysis["solve_seconds"] = R.SolveSeconds;
     Doc["analysis"] = std::move(Analysis);
-    Doc["automata"] =
-        automataSection(Before, StatsRegistry::global().snapshot());
+    StatsRegistry::Snapshot After = StatsRegistry::global().snapshot();
+    Doc["taint"] = taintSection(Before, After);
+    Doc["automata"] = automataSection(Before, After);
     ArtifactsOk =
         ObservabilityOptions::writeJson(Obs.StatsPath, Doc, Err) && ArtifactsOk;
   }
   if (!ArtifactsOk)
     return 2;
-  Out << "blocks: " << R.NumBlocks << ", sink paths: " << R.SinkPaths
+  Out << "blocks: " << R.NumBlocks << ", sinks: " << R.SinksFound
+      << ", sink paths: " << R.SinkPaths
       << ", vulnerable paths: " << R.VulnerablePaths << "\n";
+  if (R.noSinks()) {
+    // Distinguish "nothing to audit" from "audited and found safe":
+    // corpus scripts treat these differently.
+    Out << "result: no sinks found\n";
+    return 3;
+  }
   if (!R.vulnerable()) {
     Out << "result: not vulnerable\n";
     return 1;
@@ -338,6 +376,116 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
     Out << " " << Line;
   Out << "\n";
   return 0;
+}
+
+int dprle::tools::runTaint(const std::vector<std::string> &Args,
+                           std::istream &In, std::ostream &Out,
+                           std::ostream &Err) {
+  miniphp::AttackSpec Attack = miniphp::AttackSpec::sqlQuote();
+  ObservabilityOptions Obs;
+  unsigned LoopUnroll = miniphp::AnalysisOptions().LoopUnroll;
+  std::string Path;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--attack=sql") {
+      Attack = miniphp::AttackSpec::sqlQuote();
+    } else if (Arg == "--attack=xss") {
+      Attack = miniphp::AttackSpec::xssScriptTag();
+    } else if (Obs.consume(Arg)) {
+      continue;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      Err << "error: unknown option " << Arg << "\n";
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!Obs.ArgError.empty()) {
+    Err << Obs.ArgError;
+    return 2;
+  }
+  if (Path.empty()) {
+    Err << "error: no input file (use '-' for stdin)\n";
+    return 2;
+  }
+  std::string Source;
+  if (!readInput(Path, In, Source, Err))
+    return 2;
+
+  StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
+  Obs.beginTrace();
+  miniphp::ParseResult Parsed = miniphp::parseProgram(Source);
+  if (!Parsed.Ok) {
+    Err << Path << ": parse error: " << Parsed.Error << " (line "
+        << Parsed.ErrorLine << ")\n";
+    return 2;
+  }
+  miniphp::InlineResult Inlined = miniphp::inlineFunctions(Parsed.Prog);
+  if (!Inlined.Ok) {
+    Err << Path << ": parse error: " << Inlined.Error << " (line "
+        << Inlined.ErrorLine << ")\n";
+    return 2;
+  }
+  miniphp::Program Prog = miniphp::unrollLoops(Inlined.Prog, LoopUnroll);
+  miniphp::Cfg G = miniphp::Cfg::build(Prog);
+  miniphp::TaintResult Taint = miniphp::analyzeTaint(Prog, G, Attack);
+  miniphp::SliceResult Slices = miniphp::computeSlices(G, Taint);
+  bool ArtifactsOk = Obs.finishTrace("taint", Path, Err);
+  if (!Taint.Ok) {
+    Err << Path << ": error: taint pass could not order the CFG\n";
+    return 2;
+  }
+
+  unsigned ProvenSafe = Taint.numProvenSafe();
+  int ExitCode = Taint.Sinks.empty()
+                     ? 3
+                     : (ProvenSafe == Taint.Sinks.size() ? 0 : 1);
+  if (!Obs.StatsPath.empty()) {
+    Json Doc = ObservabilityOptions::envelope("taint", Path);
+    Json Result = Json::object();
+    Result["sinks"] = static_cast<uint64_t>(Taint.Sinks.size());
+    Result["proven_safe"] = static_cast<uint64_t>(ProvenSafe);
+    Result["exit_code"] = ExitCode;
+    Doc["result"] = std::move(Result);
+    StatsRegistry::Snapshot After = StatsRegistry::global().snapshot();
+    Doc["taint"] = taintSection(Before, After);
+    Doc["automata"] = automataSection(Before, After);
+    ArtifactsOk =
+        ObservabilityOptions::writeJson(Obs.StatsPath, Doc, Err) && ArtifactsOk;
+  }
+  if (!ArtifactsOk)
+    return 2;
+
+  Out << "blocks: " << G.numBlocks() << ", sinks: " << Taint.Sinks.size()
+      << ", proven safe: " << ProvenSafe << "\n";
+  if (Taint.Sinks.empty()) {
+    Out << "result: no sinks found\n";
+    return 3;
+  }
+  for (const miniphp::SinkFact &Fact : Taint.Sinks) {
+    Out << "sink at line " << Fact.Line << " (" << Fact.Callee
+        << "): " << miniphp::taintLevelName(Fact.Level) << "\n";
+    if (!Fact.Sources.empty()) {
+      Out << "  sources:";
+      for (const std::string &S : Fact.Sources)
+        Out << " " << S;
+      Out << "\n";
+    }
+    Out << "  verdict: "
+        << (!Fact.Reachable ? "unreachable (proven safe)"
+            : Fact.ProvenSafe ? "proven safe"
+                              : "needs solving")
+        << "\n";
+    if (const miniphp::SinkSlice *Slice = Slices.sliceFor(Fact.Sink)) {
+      Out << "  slice:";
+      for (unsigned Line : Slice->Lines)
+        Out << " " << Line;
+      Out << "\n";
+    }
+  }
+  Out << "result: "
+      << (ExitCode == 0 ? "all sinks proven safe" : "needs solving")
+      << "\n";
+  return ExitCode;
 }
 
 int dprle::tools::runAutomata(const std::vector<std::string> &Args,
@@ -497,6 +645,8 @@ int dprle::tools::runMain(const std::vector<std::string> &Args,
     return runSolve(Rest, In, Out, Err);
   if (Args[0] == "analyze")
     return runAnalyze(Rest, In, Out, Err);
+  if (Args[0] == "taint")
+    return runTaint(Rest, In, Out, Err);
   if (Args[0] == "automata")
     return runAutomata(Rest, Out, Err);
   if (Args[0] == "corpus")

@@ -8,13 +8,19 @@
 /// Subcommands:
 ///   dprle solve [--first] <file.rma | ->        solve a constraint file
 ///   dprle analyze [--attack=sql|xss] <file.php>  find injection exploits
+///   dprle taint [--attack=sql|xss] <file.php>    taint/slice lint report
 ///   dprle automata <op> <machine...>             automata calculator
 ///   dprle corpus <directory>                     dump the Fig. 11 corpus
 ///
-/// `solve` and `analyze` additionally accept `--stats=<file.json>` and
-/// `--trace=<file.json>`, which emit machine-readable run statistics and
-/// a hierarchical phase trace; the schemas are documented in
-/// docs/OBSERVABILITY.md.
+/// `solve`, `analyze`, and `taint` additionally accept
+/// `--stats=<file.json>` and `--trace=<file.json>`, which emit
+/// machine-readable run statistics and a hierarchical phase trace; the
+/// schemas are documented in docs/OBSERVABILITY.md.
+///
+/// Exit codes: `solve` 0 sat / 1 unsat; `analyze` 0 vulnerable / 1 not
+/// vulnerable / 3 parsed but no sinks to audit; `taint` 0 every sink
+/// proven safe / 1 some sink needs solving / 3 no sinks; all commands
+/// exit 2 on usage or input errors.
 ///
 /// Machines are given either as /regex/ literals (extended dialect: `&`
 /// intersection, `~` complement) or as paths to files in the serialized
@@ -39,6 +45,10 @@ int runSolve(const std::vector<std::string> &Args, std::istream &In,
 /// `dprle analyze` — mini-PHP vulnerability analysis.
 int runAnalyze(const std::vector<std::string> &Args, std::istream &In,
                std::ostream &Out, std::ostream &Err);
+
+/// `dprle taint` — standalone taint/slice lint report (no solving).
+int runTaint(const std::vector<std::string> &Args, std::istream &In,
+             std::ostream &Out, std::ostream &Err);
 
 /// `dprle automata` — the automata calculator.
 int runAutomata(const std::vector<std::string> &Args, std::ostream &Out,
