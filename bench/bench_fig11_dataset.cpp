@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchJson.h"
+#include "automata/Decide.h"
 #include "miniphp/Analysis.h"
 #include "miniphp/Corpus.h"
 #include "support/Timer.h"
@@ -37,12 +38,14 @@ int main() {
   const unsigned PaperVulnerable[] = {1, 4, 12};
   bool ShapeHolds = true;
   bool PruneSound = true;
+  bool CacheSound = true;
   auto Suites = figure11Suites();
   for (size_t I = 0; I != Suites.size(); ++I) {
     const Suite &S = Suites[I];
     unsigned Vulnerable = 0;
     unsigned PrunedPaths = 0, RawPaths = 0, ProvenSafe = 0;
-    double PrunedSeconds = 0.0, RawSeconds = 0.0;
+    double PrunedSeconds = 0.0, RawSeconds = 0.0, CacheOffSeconds = 0.0;
+    uint64_t HitsBefore = DecideStats::global().CacheHits;
     Timer SuiteClock;
     for (const SuiteFile &F : S.Files) {
       AnalysisOptions Opts;
@@ -73,6 +76,21 @@ int main() {
                      S.Name.c_str(), F.Name.c_str());
         PruneSound = false;
       }
+      // A/B the decision-kernel memoization: same analysis, cache off.
+      // Verdicts must be bit-identical — the cache may only change time.
+      DecisionCache::global().setEnabled(false);
+      Timer CacheOffClock;
+      AnalysisResult NoCache =
+          analyzeSource(F.Source, AttackSpec::sqlQuote(), Opts);
+      CacheOffSeconds += CacheOffClock.seconds();
+      DecisionCache::global().setEnabled(true);
+      if (R.vulnerable() != NoCache.vulnerable() ||
+          R.SinkPaths != NoCache.SinkPaths) {
+        std::fprintf(stderr,
+                     "decision cache changed the verdict of %s/%s\n",
+                     S.Name.c_str(), F.Name.c_str());
+        CacheSound = false;
+      }
       Vulnerable += R.vulnerable();
       PrunedPaths += R.SinkPaths;
       RawPaths += Raw.SinkPaths;
@@ -81,10 +99,14 @@ int main() {
     std::printf("%-8s %-8s %6zu %8u %12u %14u\n", S.Name.c_str(),
                 S.Version.c_str(), S.Files.size(), S.totalLines(),
                 Vulnerable, PaperVulnerable[I]);
+    uint64_t SuiteHits = DecideStats::global().CacheHits - HitsBefore;
     std::printf("  taint prune: %u/%u sink paths, %u sinks proven safe, "
                 "analyze %.3fs vs %.3fs un-pruned\n",
                 PrunedPaths, RawPaths, ProvenSafe, PrunedSeconds,
                 RawSeconds);
+    std::printf("  decision cache: %.3fs on vs %.3fs off (%llu hits)\n",
+                PrunedSeconds, CacheOffSeconds,
+                static_cast<unsigned long long>(SuiteHits));
     ShapeHolds = ShapeHolds && Vulnerable == PaperVulnerable[I];
     benchjson::BenchRun &Run = Report.addRun(S.Name + "-" + S.Version);
     Run.RealSeconds = SuiteClock.seconds();
@@ -96,12 +118,16 @@ int main() {
                     {"analyze_seconds_raw", RawSeconds},
                     {"sink_paths_pruned", double(PrunedPaths)},
                     {"sink_paths_raw", double(RawPaths)},
-                    {"sinks_proven_safe", double(ProvenSafe)}};
+                    {"sinks_proven_safe", double(ProvenSafe)},
+                    {"analyze_seconds_cache_off", CacheOffSeconds},
+                    {"decide_cache_hits", double(SuiteHits)}};
   }
   std::printf("\nvulnerable-file counts %s the paper's\n",
               ShapeHolds ? "MATCH" : "DO NOT MATCH");
   std::printf("taint pruning %s every file's verdict\n",
               PruneSound ? "PRESERVES" : "CHANGES");
+  std::printf("decision cache %s every file's verdict\n",
+              CacheSound ? "PRESERVES" : "CHANGES");
   Report.write();
-  return ShapeHolds && PruneSound ? 0 : 1;
+  return ShapeHolds && PruneSound && CacheSound ? 0 : 1;
 }

@@ -1,0 +1,478 @@
+//===- Decide.cpp - On-the-fly language decision kernel ----------------------//
+
+#include "automata/Decide.h"
+#include "automata/Dfa.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace dprle;
+
+DecideStats &DecideStats::global() {
+  static DecideStats Stats;
+  return Stats;
+}
+
+namespace {
+
+/// Publishes the decision-kernel counters into the unified StatsRegistry
+/// at load time. The dotted names are part of the stable schema of
+/// docs/OBSERVABILITY.md.
+struct RegisterDecideStats {
+  RegisterDecideStats() {
+    DecideStats &S = DecideStats::global();
+    StatsRegistry &R = StatsRegistry::global();
+    R.registerCounter("decide.empty_intersection_queries",
+                      &S.EmptyIntersectionQueries);
+    R.registerCounter("decide.subset_queries", &S.SubsetQueries);
+    R.registerCounter("decide.equivalence_queries", &S.EquivalenceQueries);
+    R.registerCounter("decide.emptiness_queries", &S.EmptinessQueries);
+    R.registerCounter("decide.product_pairs_visited",
+                      &S.ProductPairsVisited);
+    R.registerCounter("decide.macro_pairs_visited", &S.MacroPairsVisited);
+    R.registerCounter("decide.antichain_prunes", &S.AntichainPrunes);
+    R.registerCounter("decide.early_exits", &S.EarlyExits);
+    R.registerCounter("decide.early_exit_depth_total",
+                      &S.EarlyExitDepthTotal);
+    R.registerCounter("decide.cache_hits", &S.CacheHits);
+    R.registerCounter("decide.cache_misses", &S.CacheMisses);
+    R.registerCounter("decide.cache_evictions", &S.CacheEvictions);
+  }
+};
+
+RegisterDecideStats RegisterDecideStatsInit;
+
+void recordEarlyExit(size_t WitnessLength) {
+  DecideStats::global().EarlyExits++;
+  DecideStats::global().EarlyExitDepthTotal += WitnessLength;
+}
+
+//===----------------------------------------------------------------------===//
+// Lazy product search (emptiness of intersection)
+//===----------------------------------------------------------------------===//
+
+/// BFS over the state pairs of Lhs x Rhs reachable from the start pair,
+/// materializing nothing but the visited set and (for witness extraction)
+/// a predecessor chain. Stops at the first pair where both sides accept.
+class ProductSearch {
+public:
+  ProductSearch(const Nfa &Lhs, const Nfa &Rhs) : L(Lhs), R(Rhs) {}
+
+  /// Returns the node index of an accepting pair, or SIZE_MAX when the
+  /// intersection is empty.
+  size_t run() {
+    size_t Hit = intern(L.start(), R.start(), SIZE_MAX, -1);
+    if (Hit != SIZE_MAX)
+      return Hit;
+    while (!Work.empty()) {
+      size_t Cur = Work.front();
+      Work.pop_front();
+      // Nodes may reallocate while successors are interned; copy the pair.
+      StateId A = Nodes[Cur].A, B = Nodes[Cur].B;
+      for (const Transition &TA : L.transitionsFrom(A)) {
+        if (TA.IsEpsilon) {
+          if ((Hit = intern(TA.To, B, Cur, -1)) != SIZE_MAX)
+            return Hit;
+          continue;
+        }
+        for (const Transition &TB : R.transitionsFrom(B)) {
+          if (TB.IsEpsilon)
+            continue;
+          CharSet Common = TA.Label & TB.Label;
+          if (Common.empty())
+            continue;
+          if ((Hit = intern(TA.To, TB.To, Cur, Common.min())) != SIZE_MAX)
+            return Hit;
+        }
+      }
+      for (const Transition &TB : R.transitionsFrom(B)) {
+        if (!TB.IsEpsilon)
+          continue;
+        if ((Hit = intern(A, TB.To, Cur, -1)) != SIZE_MAX)
+          return Hit;
+      }
+    }
+    return SIZE_MAX;
+  }
+
+  /// The string spelled by the predecessor chain ending at \p Index.
+  std::string wordTo(size_t Index) const {
+    std::string Out;
+    for (size_t Cur = Index; Cur != SIZE_MAX; Cur = Nodes[Cur].Parent)
+      if (Nodes[Cur].Symbol >= 0)
+        Out.push_back(static_cast<char>(Nodes[Cur].Symbol));
+    std::reverse(Out.begin(), Out.end());
+    return Out;
+  }
+
+private:
+  struct Node {
+    StateId A, B;
+    size_t Parent;
+    int Symbol; ///< -1 for epsilon steps and the root.
+  };
+
+  /// Discovers (A, B) if new; returns its index when it is an accepting
+  /// pair (the early exit), SIZE_MAX otherwise.
+  size_t intern(StateId A, StateId B, size_t Parent, int Symbol) {
+    uint64_t Key = (uint64_t(A) << 32) | uint64_t(B);
+    auto [It, Inserted] = Seen.try_emplace(Key, Nodes.size());
+    if (!Inserted)
+      return SIZE_MAX;
+    Nodes.push_back({A, B, Parent, Symbol});
+    DecideStats::global().ProductPairsVisited++;
+    if (L.isAccepting(A) && R.isAccepting(B))
+      return It->second;
+    Work.push_back(It->second);
+    return SIZE_MAX;
+  }
+
+  const Nfa &L, &R;
+  std::unordered_map<uint64_t, size_t> Seen;
+  std::vector<Node> Nodes;
+  std::deque<size_t> Work;
+};
+
+//===----------------------------------------------------------------------===//
+// Lazy subset search (antichain pruning)
+//===----------------------------------------------------------------------===//
+
+/// Counterexample search for Lhs ⊆ Rhs: BFS over pairs (l, S) where l is
+/// an Lhs state and S an epsilon-closed macro-state of Rhs, determinized
+/// on demand over the joint alphabet partition. A counterexample
+/// configuration is a pair with l accepting and S containing no accepting
+/// Rhs state; reaching one proves a word in L(Lhs) \ L(Rhs).
+///
+/// Antichain pruning: if (l, S') with S' ⊆ S was already discovered, any
+/// counterexample reachable from (l, S) is also reachable from (l, S')
+/// (shrinking the macro-state only makes rejection by Rhs easier), so
+/// (l, S) need not be explored. Per l we keep only the ⊆-minimal
+/// macro-states seen.
+class SubsetSearch {
+public:
+  SubsetSearch(const Nfa &Lhs, const Nfa &Rhs)
+      : L(Lhs), R(Rhs), Partition(AlphabetPartition::compute(Lhs, &Rhs)),
+        Antichain(Lhs.numStates()) {}
+
+  /// Returns the node index of a counterexample configuration, or
+  /// SIZE_MAX when Lhs ⊆ Rhs.
+  size_t run() {
+    std::vector<StateId> Initial = {R.start()};
+    R.epsilonClosure(Initial);
+    size_t Hit = intern(L.start(), internMacro(std::move(Initial)),
+                        SIZE_MAX, -1);
+    if (Hit != SIZE_MAX)
+      return Hit;
+    while (!Work.empty()) {
+      size_t Cur = Work.front();
+      Work.pop_front();
+      StateId A = Nodes[Cur].LState;
+      uint32_t Macro = Nodes[Cur].Macro;
+      for (const Transition &T : L.transitionsFrom(A)) {
+        if (T.IsEpsilon) {
+          if ((Hit = intern(T.To, Macro, Cur, -1)) != SIZE_MAX)
+            return Hit;
+          continue;
+        }
+        for (unsigned C = 0; C != Partition.numClasses(); ++C) {
+          unsigned char Rep = Partition.representative(C);
+          if (!T.Label.contains(Rep))
+            continue;
+          if ((Hit = intern(T.To, macroMove(Macro, C), Cur, Rep)) !=
+              SIZE_MAX)
+            return Hit;
+        }
+      }
+    }
+    return SIZE_MAX;
+  }
+
+  std::string wordTo(size_t Index) const {
+    std::string Out;
+    for (size_t Cur = Index; Cur != SIZE_MAX; Cur = Nodes[Cur].Parent)
+      if (Nodes[Cur].Symbol >= 0)
+        Out.push_back(static_cast<char>(Nodes[Cur].Symbol));
+    std::reverse(Out.begin(), Out.end());
+    return Out;
+  }
+
+private:
+  struct Node {
+    StateId LState;
+    uint32_t Macro;
+    size_t Parent;
+    int Symbol;
+  };
+
+  /// Interns a sorted, epsilon-closed macro-state of Rhs.
+  uint32_t internMacro(std::vector<StateId> Set) {
+    auto [It, Inserted] =
+        MacroIds.try_emplace(std::move(Set), uint32_t(MacroSets.size()));
+    if (Inserted) {
+      MacroSets.push_back(&It->first);
+      bool Acc = false;
+      for (StateId S : *MacroSets.back())
+        Acc = Acc || R.isAccepting(S);
+      MacroAccepting.push_back(Acc);
+      MacroMoves.emplace_back(Partition.numClasses(), NoMove);
+    }
+    return It->second;
+  }
+
+  /// The macro-state reached from \p Macro on alphabet class \p C,
+  /// computed (and memoized) on demand — this is where Rhs is
+  /// determinized lazily.
+  uint32_t macroMove(uint32_t Macro, unsigned C) {
+    uint32_t &Slot = MacroMoves[Macro][C];
+    if (Slot != NoMove)
+      return Slot;
+    unsigned char Rep = Partition.representative(C);
+    std::vector<StateId> Next;
+    std::vector<bool> InNext(R.numStates(), false);
+    for (StateId S : *MacroSets[Macro]) {
+      for (const Transition &T : R.transitionsFrom(S)) {
+        if (T.IsEpsilon || !T.Label.contains(Rep) || InNext[T.To])
+          continue;
+        InNext[T.To] = true;
+        Next.push_back(T.To);
+      }
+    }
+    R.epsilonClosure(Next);
+    uint32_t Id = internMacro(std::move(Next));
+    // internMacro may grow MacroMoves; re-resolve the slot.
+    MacroMoves[Macro][C] = Id;
+    return Id;
+  }
+
+  /// Discovers (A, Macro) unless an antichain entry dominates it; returns
+  /// the node index when it is a counterexample configuration, SIZE_MAX
+  /// otherwise.
+  size_t intern(StateId A, uint32_t Macro, size_t Parent, int Symbol) {
+    const std::vector<StateId> &Set = *MacroSets[Macro];
+    std::vector<uint32_t> &Chain = Antichain[A];
+    for (uint32_t Known : Chain) {
+      const std::vector<StateId> &KnownSet = *MacroSets[Known];
+      if (std::includes(Set.begin(), Set.end(), KnownSet.begin(),
+                        KnownSet.end())) {
+        DecideStats::global().AntichainPrunes++;
+        return SIZE_MAX;
+      }
+    }
+    // Keep the antichain minimal: drop entries the new set dominates.
+    Chain.erase(std::remove_if(Chain.begin(), Chain.end(),
+                               [&](uint32_t Known) {
+                                 const std::vector<StateId> &KnownSet =
+                                     *MacroSets[Known];
+                                 return std::includes(
+                                     KnownSet.begin(), KnownSet.end(),
+                                     Set.begin(), Set.end());
+                               }),
+                Chain.end());
+    Chain.push_back(Macro);
+    Nodes.push_back({A, Macro, Parent, Symbol});
+    DecideStats::global().MacroPairsVisited++;
+    if (L.isAccepting(A) && !MacroAccepting[Macro])
+      return Nodes.size() - 1;
+    Work.push_back(Nodes.size() - 1);
+    return SIZE_MAX;
+  }
+
+  static constexpr uint32_t NoMove = ~uint32_t(0);
+
+  const Nfa &L, &R;
+  AlphabetPartition Partition;
+  /// Macro-state interning: sorted state sets of Rhs.
+  std::map<std::vector<StateId>, uint32_t> MacroIds;
+  std::vector<const std::vector<StateId> *> MacroSets;
+  std::vector<bool> MacroAccepting;
+  /// Per-macro-state lazy transition table over the alphabet classes.
+  std::vector<std::vector<uint32_t>> MacroMoves;
+  /// Per-L-state ⊆-minimal macro-states discovered so far.
+  std::vector<std::vector<uint32_t>> Antichain;
+  std::vector<Node> Nodes;
+  std::deque<size_t> Work;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DecisionCache
+//===----------------------------------------------------------------------===//
+
+DecisionCache &DecisionCache::global() {
+  static DecisionCache Cache;
+  return Cache;
+}
+
+namespace {
+
+/// Bounded cache sizes; overflowing either flushes everything.
+constexpr size_t MaxCachedMachines = 1 << 12;
+constexpr size_t MaxCachedAnswers = 1 << 16;
+
+void appendU32(std::string &Out, uint32_t V) {
+  Out.push_back(static_cast<char>(V));
+  Out.push_back(static_cast<char>(V >> 8));
+  Out.push_back(static_cast<char>(V >> 16));
+  Out.push_back(static_cast<char>(V >> 24));
+}
+
+/// Structural encoding of a machine: state count, start, acceptance, and
+/// every transition in storage order. Epsilon markers are *excluded* —
+/// they carry solver bookkeeping and do not affect the language, so
+/// machines differing only in markers share cache entries.
+std::string encodeMachine(const Nfa &M) {
+  std::string Out;
+  Out.reserve(16 + M.numTransitions() * 40);
+  appendU32(Out, M.numStates());
+  appendU32(Out, M.start());
+  for (StateId S = 0; S != M.numStates(); ++S)
+    Out.push_back(M.isAccepting(S) ? 1 : 0);
+  for (StateId S = 0; S != M.numStates(); ++S) {
+    const std::vector<Transition> &Ts = M.transitionsFrom(S);
+    appendU32(Out, static_cast<uint32_t>(Ts.size()));
+    for (const Transition &T : Ts) {
+      appendU32(Out, T.To);
+      Out.push_back(T.IsEpsilon ? 1 : 0);
+      if (T.IsEpsilon)
+        continue;
+      // Length-prefixed symbol list keeps the encoding injective.
+      appendU32(Out, T.Label.count());
+      T.Label.forEach([&](unsigned char C) { Out.push_back(char(C)); });
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+uint32_t DecisionCache::internMachine(const Nfa &M) {
+  auto [It, Inserted] =
+      Machines.try_emplace(encodeMachine(M), uint32_t(Machines.size()));
+  return It->second;
+}
+
+std::optional<bool> DecisionCache::lookup(Query Q, const Nfa &L,
+                                          const Nfa *R, uint64_t &KeyOut) {
+  KeyOut = InvalidKey;
+  if (!Enabled)
+    return std::nullopt;
+  if (Machines.size() > MaxCachedMachines ||
+      Answers.size() > MaxCachedAnswers) {
+    clear();
+    DecideStats::global().CacheEvictions++;
+  }
+  uint64_t IdL = internMachine(L);
+  uint64_t IdR = R ? internMachine(*R) : 0;
+  // 8-bit kind | 28-bit lhs id | 28-bit rhs id. Ids cannot exceed 28 bits
+  // under the machine cap.
+  KeyOut = (uint64_t(Q) << 56) | (IdL << 28) | IdR;
+  auto It = Answers.find(KeyOut);
+  if (It == Answers.end()) {
+    DecideStats::global().CacheMisses++;
+    return std::nullopt;
+  }
+  DecideStats::global().CacheHits++;
+  return It->second;
+}
+
+void DecisionCache::store(uint64_t Key, bool Answer) {
+  if (Key == InvalidKey)
+    return;
+  Answers.emplace(Key, Answer);
+}
+
+void DecisionCache::clear() {
+  Machines.clear();
+  Answers.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Public queries
+//===----------------------------------------------------------------------===//
+
+bool dprle::emptyIntersection(const Nfa &Lhs, const Nfa &Rhs) {
+  DPRLE_TRACE_SPAN("decide_empty_intersection");
+  DecideStats::global().EmptyIntersectionQueries++;
+  uint64_t Key;
+  if (auto Hit = DecisionCache::global().lookup(
+          DecisionCache::Query::EmptyIntersection, Lhs, &Rhs, Key))
+    return *Hit;
+  ProductSearch Search(Lhs, Rhs);
+  size_t Found = Search.run();
+  if (Found != SIZE_MAX)
+    recordEarlyExit(Search.wordTo(Found).size());
+  bool Answer = Found == SIZE_MAX;
+  DecisionCache::global().store(Key, Answer);
+  return Answer;
+}
+
+std::optional<std::string> dprle::intersectionWitness(const Nfa &Lhs,
+                                                      const Nfa &Rhs) {
+  DPRLE_TRACE_SPAN("decide_empty_intersection");
+  DecideStats::global().EmptyIntersectionQueries++;
+  ProductSearch Search(Lhs, Rhs);
+  size_t Found = Search.run();
+  if (Found == SIZE_MAX)
+    return std::nullopt;
+  std::string Word = Search.wordTo(Found);
+  recordEarlyExit(Word.size());
+  return Word;
+}
+
+bool dprle::subsetOf(const Nfa &Lhs, const Nfa &Rhs) {
+  DPRLE_TRACE_SPAN("decide_subset");
+  DecideStats::global().SubsetQueries++;
+  uint64_t Key;
+  if (auto Hit = DecisionCache::global().lookup(DecisionCache::Query::Subset,
+                                                Lhs, &Rhs, Key))
+    return *Hit;
+  SubsetSearch Search(Lhs, Rhs);
+  size_t Found = Search.run();
+  if (Found != SIZE_MAX)
+    recordEarlyExit(Search.wordTo(Found).size());
+  bool Answer = Found == SIZE_MAX;
+  DecisionCache::global().store(Key, Answer);
+  return Answer;
+}
+
+std::optional<std::string> dprle::subsetCounterexample(const Nfa &Lhs,
+                                                       const Nfa &Rhs) {
+  DPRLE_TRACE_SPAN("decide_subset");
+  DecideStats::global().SubsetQueries++;
+  SubsetSearch Search(Lhs, Rhs);
+  size_t Found = Search.run();
+  if (Found == SIZE_MAX)
+    return std::nullopt;
+  std::string Word = Search.wordTo(Found);
+  recordEarlyExit(Word.size());
+  return Word;
+}
+
+bool dprle::equivalentTo(const Nfa &Lhs, const Nfa &Rhs) {
+  DPRLE_TRACE_SPAN("decide_equivalent");
+  DecideStats::global().EquivalenceQueries++;
+  uint64_t Key;
+  if (auto Hit = DecisionCache::global().lookup(
+          DecisionCache::Query::Equivalent, Lhs, &Rhs, Key))
+    return *Hit;
+  bool Answer = subsetOf(Lhs, Rhs) && subsetOf(Rhs, Lhs);
+  DecisionCache::global().store(Key, Answer);
+  return Answer;
+}
+
+bool dprle::isEmpty(const Nfa &M) {
+  DPRLE_TRACE_SPAN("decide_empty");
+  DecideStats::global().EmptinessQueries++;
+  uint64_t Key;
+  if (auto Hit = DecisionCache::global().lookup(DecisionCache::Query::Empty,
+                                                M, nullptr, Key))
+    return *Hit;
+  bool Answer = M.languageIsEmpty();
+  DecisionCache::global().store(Key, Answer);
+  return Answer;
+}

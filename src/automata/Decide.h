@@ -1,0 +1,170 @@
+//===- Decide.h - On-the-fly language decision kernel -----------*- C++ -*-==//
+//
+// Part of dprle-cpp, a reproduction of Hooimeijer & Weimer, "A Decision
+// Procedure for Subset Constraints over Regular Languages" (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boolean language queries answered *without materializing result
+/// machines*. The classical implementations in NfaOps.h construct the full
+/// answer machine first — isSubsetOf(L, R) determinizes and complements R,
+/// builds the complete product, and only then walks it looking for an
+/// accepting state. These queries dominate the innermost loops of the
+/// solver (reduce, gci verification, solution dedup) and of the taint
+/// pre-pass (proven-safe intersection tests), yet almost every call only
+/// needs a yes/no answer and, occasionally, one witness string.
+///
+/// This kernel answers them on the fly:
+///
+///  * emptyIntersection(L, R) — a lazy product BFS over reachable state
+///    pairs that exits at the *first* accepting pair. Nonempty
+///    intersections (the common case on vulnerable paths) are detected
+///    after exploring only the pairs a witness actually needs.
+///  * subsetOf(L, R) — a counterexample search over pairs (state of L,
+///    macro-state of R) where R is determinized on demand; an *antichain*
+///    of ⊆-minimal macro-states per L-state prunes dominated pairs, so
+///    the complete-DFA complement of R is never built (De Wulf, Doyen,
+///    Henzinger & Raskin, "Antichains: A New Algorithm for Checking
+///    Universality of Finite Automata", CAV 2006).
+///  * equivalentTo(L, R) — two subset checks with early exit.
+///  * isEmpty(M) — reachability with early exit at the first accepting
+///    state.
+///
+/// Answers are memoized in a DecisionCache keyed by structural machine
+/// identity (hash + interning, so repeated queries over shared machines —
+/// the taint pass's attack language, the solver's dedup comparisons — are
+/// O(|machine|) re-hashes instead of fresh product constructions). The
+/// cache can be disabled for debugging (`--no-decision-cache`).
+///
+/// All queries are bit-identical to their materialized counterparts;
+/// tests/DecideTest.cpp pins this differentially over randomized NFAs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_AUTOMATA_DECIDE_H
+#define DPRLE_AUTOMATA_DECIDE_H
+
+#include "automata/Nfa.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace dprle {
+
+/// Global (single-threaded) counters for the decision kernel, published
+/// into the StatsRegistry as "decide.*" (see docs/OBSERVABILITY.md).
+struct DecideStats {
+  /// Queries by kind.
+  uint64_t EmptyIntersectionQueries = 0;
+  uint64_t SubsetQueries = 0;
+  uint64_t EquivalenceQueries = 0;
+  uint64_t EmptinessQueries = 0;
+
+  /// Lazy-product pairs materialized by emptyIntersection / witness
+  /// extraction.
+  uint64_t ProductPairsVisited = 0;
+  /// (L-state, R-macro-state) pairs materialized by subsetOf.
+  uint64_t MacroPairsVisited = 0;
+  /// Pairs discarded because an antichain entry already ⊆-dominated them.
+  uint64_t AntichainPrunes = 0;
+
+  /// Queries resolved by finding a witness/counterexample before the
+  /// frontier was exhausted, and the summed witness lengths at exit
+  /// (average early-exit depth = EarlyExitDepthTotal / EarlyExits).
+  uint64_t EarlyExits = 0;
+  uint64_t EarlyExitDepthTotal = 0;
+
+  /// DecisionCache accounting.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+
+  void reset() { *this = DecideStats(); }
+
+  static DecideStats &global();
+};
+
+/// Memoizes decision-kernel answers across queries. Machines are interned
+/// by a structural encoding (states, start, acceptance, transition labels;
+/// epsilon markers are deliberately excluded — they carry solver
+/// bookkeeping, not language), so two structurally identical machines share
+/// an id and their queries share cache entries. The table is bounded:
+/// overflowing either the machine or the answer map flushes everything
+/// (counted in DecideStats::CacheEvictions) rather than growing without
+/// bound.
+class DecisionCache {
+public:
+  enum class Query : uint8_t {
+    EmptyIntersection = 0,
+    Subset = 1,
+    Equivalent = 2,
+    Empty = 3,
+  };
+
+  /// Globally enables/disables memoization (the `--no-decision-cache`
+  /// flag). Disabling does not clear previously stored answers.
+  void setEnabled(bool E) { Enabled = E; }
+  bool enabled() const { return Enabled; }
+
+  /// Drops every interned machine and stored answer.
+  void clear();
+
+  size_t numMachines() const { return Machines.size(); }
+  size_t numAnswers() const { return Answers.size(); }
+
+  /// Looks up the memoized answer for \p Q over \p L (and \p R for binary
+  /// queries; pass nullptr for isEmpty). On a miss, \p KeyOut receives a
+  /// token that store() accepts; when the cache is disabled the lookup
+  /// misses without counting and \p KeyOut is invalidated.
+  std::optional<bool> lookup(Query Q, const Nfa &L, const Nfa *R,
+                             uint64_t &KeyOut);
+
+  /// Stores \p Answer under a key produced by lookup(). No-op for the
+  /// invalid key (cache disabled at lookup time).
+  void store(uint64_t Key, bool Answer);
+
+  /// The token store() ignores.
+  static constexpr uint64_t InvalidKey = ~uint64_t(0);
+
+  static DecisionCache &global();
+
+private:
+  uint32_t internMachine(const Nfa &M);
+
+  bool Enabled = true;
+  /// Structural encoding -> machine id.
+  std::unordered_map<std::string, uint32_t> Machines;
+  /// Packed (query, lhs id, rhs id) -> answer.
+  std::unordered_map<uint64_t, bool> Answers;
+};
+
+/// True iff L(Lhs) ∩ L(Rhs) = ∅. Never materializes the product machine.
+bool emptyIntersection(const Nfa &Lhs, const Nfa &Rhs);
+
+/// A string in L(Lhs) ∩ L(Rhs), or nullopt when the intersection is
+/// empty. Used for exploit generation; bypasses the cache (the path is
+/// needed, not just the bit).
+std::optional<std::string> intersectionWitness(const Nfa &Lhs,
+                                               const Nfa &Rhs);
+
+/// True iff L(Lhs) ⊆ L(Rhs). Determinizes Rhs on demand and prunes with
+/// an antichain; never builds the complement of Rhs.
+bool subsetOf(const Nfa &Lhs, const Nfa &Rhs);
+
+/// A string in L(Lhs) \ L(Rhs), or nullopt when Lhs ⊆ Rhs. Bypasses the
+/// cache.
+std::optional<std::string> subsetCounterexample(const Nfa &Lhs,
+                                                const Nfa &Rhs);
+
+/// True iff L(Lhs) = L(Rhs).
+bool equivalentTo(const Nfa &Lhs, const Nfa &Rhs);
+
+/// True iff L(M) = ∅; early-exits at the first reachable accepting state.
+bool isEmpty(const Nfa &M);
+
+} // namespace dprle
+
+#endif // DPRLE_AUTOMATA_DECIDE_H

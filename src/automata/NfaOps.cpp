@@ -1,6 +1,7 @@
 //===- NfaOps.cpp - Regular-language operations on NFAs ----------------------//
 
 #include "automata/NfaOps.h"
+#include "automata/Decide.h"
 #include "automata/OpStats.h"
 #include "support/Trace.h"
 
@@ -123,7 +124,19 @@ Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
   auto Key = [&](StateId A, StateId B) {
     return (uint64_t(A) << 32) | uint64_t(B);
   };
-  std::deque<std::pair<StateId, StateId>> Work;
+  // Worklist entries carry the already-interned result state so popping an
+  // item never re-hashes PairToState.
+  struct WorkItem {
+    StateId A, B, Out;
+  };
+  std::deque<WorkItem> Work;
+  // The product has at least max(|Lhs|, |Rhs|) reachable pairs in the
+  // common case of same-alphabet operands; reserving that floor avoids the
+  // first few rehash/regrow cycles without over-committing on the Q^2
+  // worst case.
+  size_t ReserveHint = std::max(Lhs.numStates(), Rhs.numStates());
+  PairToState.reserve(ReserveHint);
+  Origin.reserve(ReserveHint);
 
   auto GetState = [&](StateId A, StateId B) {
     auto [It, Inserted] = PairToState.try_emplace(Key(A, B), InvalidState);
@@ -131,7 +144,7 @@ Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
       // State 0 (the Out start) is consumed by the initial pair.
       It->second = Origin.empty() ? Out.start() : Out.addState();
       Origin.push_back({A, B});
-      Work.push_back({A, B});
+      Work.push_back({A, B, It->second});
       OpStats::global().ProductStatesVisited++;
       if (Lhs.isAccepting(A) && Rhs.isAccepting(B))
         Out.setAccepting(It->second);
@@ -141,9 +154,8 @@ Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
 
   GetState(Lhs.start(), Rhs.start());
   while (!Work.empty()) {
-    auto [A, B] = Work.front();
+    auto [A, B, From] = Work.front();
     Work.pop_front();
-    StateId From = PairToState[Key(A, B)];
     for (const Transition &TA : Lhs.transitionsFrom(A)) {
       if (TA.IsEpsilon) {
         Out.addEpsilon(From, GetState(TA.To, B), TA.Marker);
@@ -245,11 +257,14 @@ Nfa dprle::minimized(const Nfa &M) {
 }
 
 bool dprle::isSubsetOf(const Nfa &Lhs, const Nfa &Rhs) {
-  return difference(Lhs, Rhs).languageIsEmpty();
+  // Answered by the on-the-fly decision kernel (Decide.h); the
+  // materialized difference().languageIsEmpty() equivalent survives only
+  // as the differential-test baseline in tests/DecideTest.cpp.
+  return subsetOf(Lhs, Rhs);
 }
 
 bool dprle::equivalent(const Nfa &Lhs, const Nfa &Rhs) {
-  return isSubsetOf(Lhs, Rhs) && isSubsetOf(Rhs, Lhs);
+  return equivalentTo(Lhs, Rhs);
 }
 
 //===----------------------------------------------------------------------===//

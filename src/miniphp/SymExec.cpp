@@ -1,18 +1,42 @@
 //===- SymExec.cpp - Path-sensitive symbolic execution --------------------===//
 
 #include "miniphp/SymExec.h"
+#include "automata/Decide.h"
 #include "automata/NfaOps.h"
 #include "miniphp/Slice.h"
 #include "miniphp/Taint.h"
 #include "regex/RegexCompiler.h"
 #include "regex/RegexParser.h"
 #include "solver/Extensions.h"
+#include "support/Stats.h"
 
 #include <cassert>
 #include <set>
 
 using namespace dprle;
 using namespace dprle::miniphp;
+
+SymExecStats &SymExecStats::global() {
+  static SymExecStats Instance;
+  return Instance;
+}
+
+namespace {
+
+/// Publishes the explorer counters into the unified StatsRegistry at load
+/// time; the dotted names are part of the stable schema of
+/// docs/OBSERVABILITY.md.
+struct RegisterSymExecStats {
+  RegisterSymExecStats() {
+    StatsRegistry::global().registerCounter(
+        "miniphp.symexec.infeasible_edges_pruned",
+        &SymExecStats::global().InfeasibleEdgesPruned);
+  }
+};
+
+RegisterSymExecStats RegisterSymExecStatsInit;
+
+} // namespace
 
 AttackSpec AttackSpec::sqlQuote() {
   AttackSpec Spec;
@@ -229,17 +253,33 @@ private:
 
   /// Appends the branch constraint for \p Cond (outcome \p Taken) to
   /// \p State. Returns false if the constraint is trivially
-  /// unsatisfiable on constants (quick infeasibility pruning).
-  void addConditionConstraint(const Condition &Cond, bool Taken,
+  /// unsatisfiable on constants (quick infeasibility pruning,
+  /// SymExecOptions::ConstantFeasibilityPrune).
+  bool addConditionConstraint(const Condition &Cond, bool Taken,
                               unsigned Line, PathState &State) {
     SymValue Operand = eval(Cond.Operand, State);
     Nfa Lang = conditionLanguage(Cond, Taken);
+    if (Opts.ConstantFeasibilityPrune) {
+      bool AllConstant = true;
+      for (const Term &T : Operand.Terms)
+        AllConstant = AllConstant && !T.isVariable();
+      if (AllConstant) {
+        Nfa Whole = Operand.Terms.front().Language;
+        for (size_t I = 1; I != Operand.Terms.size(); ++I)
+          Whole = concat(Whole, Operand.Terms[I].Language);
+        if (!subsetOf(Whole, Lang)) {
+          ++SymExecStats::global().InfeasibleEdgesPruned;
+          return false;
+        }
+      }
+    }
     ConditionRecord Record;
     Record.Vars = inputVarsOf(Operand);
     Record.Lines = Operand.Lines;
     Record.Lines.insert(Line);
     State.Conditions.push_back(std::move(Record));
     State.Instance.addConstraint(Operand.Terms, std::move(Lang));
+    return true;
   }
 
   void explore(PathState State) {
@@ -340,8 +380,9 @@ private:
           continue;
         }
         PathState Next = State;
-        addConditionConstraint(Cond, /*Taken=*/Edge == 0,
-                               Block.Terminator->Line, Next);
+        if (!addConditionConstraint(Cond, /*Taken=*/Edge == 0,
+                                    Block.Terminator->Line, Next))
+          continue; // Edge infeasible on constants: no suffix can matter.
         Next.Block = Block.Succs[Edge];
         Next.StmtIndex = 0;
         explore(std::move(Next));

@@ -26,6 +26,7 @@
 #include "miniphp/Cfg.h"
 #include "solver/Problem.h"
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -85,6 +86,13 @@ struct SymExecOptions {
   /// *vulnerable* (see docs/TAINT.md). Off here so raw enumeration keeps
   /// its exact baseline path counts; AnalysisOptions turns it on.
   bool TaintPrune = false;
+  /// When a branch condition's operand is a pure constant (no input
+  /// variable flows in), decide its feasibility immediately with the
+  /// decision kernel (subsetOf) and skip exploring the infeasible edge.
+  /// Off by default: pruning removes constantly-dead suffix paths and so
+  /// changes the raw sink-path counts that the Figure 11/12 baselines
+  /// pin (docs/PERFORMANCE.md).
+  bool ConstantFeasibilityPrune = false;
 };
 
 /// The outcome of one symbolic-execution run.
@@ -98,6 +106,19 @@ struct SymExecResult {
   unsigned SinksProvenSafe = 0;
   /// True when the taint pre-pass ran and its facts were used.
   bool TaintUsed = false;
+};
+
+/// Process-wide counters for the explorer, published to the StatsRegistry
+/// under "miniphp.symexec.*" (see docs/OBSERVABILITY.md).
+struct SymExecStats {
+  /// Branch edges never explored because their constant-only condition
+  /// was decided infeasible by the decision kernel
+  /// (SymExecOptions::ConstantFeasibilityPrune).
+  uint64_t InfeasibleEdgesPruned = 0;
+
+  void reset() { *this = SymExecStats(); }
+
+  static SymExecStats &global();
 };
 
 /// Explores the acyclic paths of \p G (over \p P) that reach a sink and

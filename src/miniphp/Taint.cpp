@@ -1,6 +1,7 @@
 //===- Taint.cpp - Forward taint dataflow over mini-PHP CFGs --------------===//
 
 #include "miniphp/Taint.h"
+#include "automata/Decide.h"
 #include "automata/NfaOps.h"
 #include "regex/RegexCompiler.h"
 #include "regex/RegexParser.h"
@@ -353,8 +354,11 @@ TaintResult dprle::miniphp::analyzeTaint(const Program &P, const Cfg &G,
         Fact.Sources = std::move(V.Sources);
         Fact.ValueLines = std::move(V.DefLines);
         Fact.ValueLines.insert(S->Line);
+        // Decision kernel: the lazy product BFS exits at the first
+        // accepting pair, and shared Approx machines (sigma-star, common
+        // literals) hit the decision cache across sinks and files.
         Fact.ProvenSafe =
-            intersect(*V.Approx, Attack.AttackLanguage).languageIsEmpty();
+            emptyIntersection(*V.Approx, Attack.AttackLanguage);
         Facts.emplace(S, std::move(Fact));
         break;
       }

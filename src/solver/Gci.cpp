@@ -1,6 +1,7 @@
 //===- Gci.cpp - Generalized concat-intersect ----------------------------------//
 
 #include "solver/Gci.h"
+#include "automata/Decide.h"
 #include "automata/NfaOps.h"
 #include "support/Debug.h"
 #include "support/Trace.h"
@@ -262,7 +263,7 @@ void GciRun::enumerateSolutions() {
   };
   std::vector<ChoicePoint> Choices;
   for (NodeId R : Roots) {
-    if (Machine.at(R).languageIsEmpty()) {
+    if (isEmpty(Machine.at(R))) {
       DPRLE_DEBUG_LOG("gci", Os << "root " << G.name(R)
                                 << " is empty; group unsatisfiable");
       return;
@@ -315,8 +316,7 @@ void GciRun::enumerateSolutions() {
         // Variable slices carry no markers (markers live on concat
         // boundaries, outside the slice), so minimization is safe here.
         Lang = minimized(Lang.withoutMarkers());
-        for (size_t I = 1; I != Segments.size() && !Lang.languageIsEmpty();
-             ++I) {
+        for (size_t I = 1; I != Segments.size() && !isEmpty(Lang); ++I) {
           DPRLE_DEBUG_LOG("gci-combo", Os << G.name(V) << " entry " << I
                                           << " lang states "
                                           << Lang.numStates());
@@ -325,7 +325,7 @@ void GciRun::enumerateSolutions() {
           Lang = minimized(intersect(Lang, Slice));
         }
       }
-      if (Lang.languageIsEmpty()) {
+      if (isEmpty(Lang)) {
         Valid = false;
         break;
       }
@@ -340,7 +340,9 @@ void GciRun::enumerateSolutions() {
         Nfa Whole = Nfa::epsilonLanguage();
         for (NodeId T : FC.Terms)
           Whole = concat(Whole, termLanguage(T, Candidate));
-        if (!intersect(Whole, FC.NotConstraint).trimmed().languageIsEmpty()) {
+        // Whole ∩ ¬C = ∅  ⟺  Whole ⊆ C; the kernel's antichain subset
+        // check avoids materializing the product against the complement.
+        if (!subsetOf(Whole, FC.Constraint)) {
           Valid = false;
           ++Result.CombinationsRejectedByVerification;
           break;

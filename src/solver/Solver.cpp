@@ -1,6 +1,7 @@
 //===- Solver.cpp - The RMA decision procedure ---------------------------------//
 
 #include "solver/Solver.h"
+#include "automata/Decide.h"
 #include "automata/NfaOps.h"
 #include "automata/OpStats.h"
 #include "support/Debug.h"
@@ -83,7 +84,7 @@ SolveResult Solver::solveImpl(const Problem &P,
       }
       if (Opts.MinimizeIntermediates)
         M = minimized(M);
-      if (M.languageIsEmpty()) {
+      if (isEmpty(M)) {
         // A maximal satisfying assignment would map V to the empty
         // language; following Figure 7 lines 20-23 that is a failure.
         DPRLE_DEBUG_LOG("solver", Os << "variable " << P.variableName(V)

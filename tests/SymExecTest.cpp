@@ -313,3 +313,38 @@ TEST(SymExecTest, StatsAreForwarded) {
   EXPECT_GE(R.SolveSeconds, 0.0);
   EXPECT_EQ(R.SinkLine, 8u);
 }
+
+TEST(SymExecTest, ConstantFeasibilityPruneSkipsDeadBranches) {
+  // The then-branch is guarded by a condition over a pure constant that
+  // can never hold; the kernel decides 'guest' ⊄ {'admin'} up front and
+  // the pruned explorer never walks the edge. The default (prune off)
+  // still enumerates the dead route so baseline path counts stay exact.
+  const char *Source = R"(
+    $x = 'guest';
+    if ($x == 'admin') { query("a=" . $_GET['q']); }
+    query("b=" . $_GET['p']);
+  )";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.Ok);
+  Cfg G = Cfg::build(R.Prog);
+  SymExecOptions Raw;
+  Raw.StopAtFirstSink = false;
+  auto Baseline = enumerateSinkPaths(R.Prog, G, AttackSpec::sqlQuote(), Raw);
+
+  SymExecOptions Pruned = Raw;
+  Pruned.ConstantFeasibilityPrune = true;
+  uint64_t Before = SymExecStats::global().InfeasibleEdgesPruned;
+  auto Fast = enumerateSinkPaths(R.Prog, G, AttackSpec::sqlQuote(), Pruned);
+  EXPECT_EQ(SymExecStats::global().InfeasibleEdgesPruned, Before + 1);
+
+  // Only the paths routed through the dead then-branch disappear; every
+  // surviving path is one the baseline also produced.
+  EXPECT_LT(Fast.size(), Baseline.size());
+  ASSERT_EQ(Fast.size(), 1u);
+  EXPECT_EQ(Fast.front().SinkLine, 4u);
+  bool Matched = false;
+  for (const PathCondition &PC : Baseline)
+    Matched = Matched || (PC.SinkLine == Fast.front().SinkLine &&
+                          PC.NumConstraints == Fast.front().NumConstraints);
+  EXPECT_TRUE(Matched);
+}

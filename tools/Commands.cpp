@@ -2,6 +2,7 @@
 
 #include "tools/Commands.h"
 
+#include "automata/Decide.h"
 #include "automata/NfaOps.h"
 #include "automata/OpStats.h"
 #include "automata/Print.h"
@@ -170,13 +171,13 @@ Json automataSection(const StatsRegistry::Snapshot &Before,
   return Out;
 }
 
-/// Renders the "miniphp.taint.*" registry delta as the "taint" stats
-/// section (short names, see docs/OBSERVABILITY.md).
-Json taintSection(const StatsRegistry::Snapshot &Before,
-                  const StatsRegistry::Snapshot &After) {
+/// Renders a registry snapshot-delta restricted to the counters under
+/// \p Prefix, with the prefix stripped from the names.
+Json prefixSection(const StatsRegistry::Snapshot &Before,
+                   const StatsRegistry::Snapshot &After,
+                   const char *Prefix) {
   StatsRegistry::Snapshot Delta = StatsRegistry::delta(Before, After);
   Json Out = Json::object();
-  const char *Prefix = "miniphp.taint.";
   for (const auto &[Name, Value] : Delta) {
     if (Name.rfind(Prefix, 0) != 0)
       continue;
@@ -185,15 +186,34 @@ Json taintSection(const StatsRegistry::Snapshot &Before,
   return Out;
 }
 
+/// Renders the "miniphp.taint.*" registry delta as the "taint" stats
+/// section (short names, see docs/OBSERVABILITY.md).
+Json taintSection(const StatsRegistry::Snapshot &Before,
+                  const StatsRegistry::Snapshot &After) {
+  return prefixSection(Before, After, "miniphp.taint.");
+}
+
+/// Renders the "decide.*" registry delta as the "decide" stats section:
+/// queries by kind, early-exit depth totals, and memoization cache
+/// hits/misses/evictions (see docs/OBSERVABILITY.md).
+Json decideSection(const StatsRegistry::Snapshot &Before,
+                   const StatsRegistry::Snapshot &After) {
+  Json Out = prefixSection(Before, After, "decide.");
+  Out["cache_enabled"] = DecisionCache::global().enabled();
+  return Out;
+}
+
 void printUsage(std::ostream &Err) {
   Err << "usage:\n"
-      << "  dprle solve [--first] [--stats=<file.json>] "
-         "[--trace=<file.json>] <file.rma | ->\n"
+      << "  dprle solve [--first] [--no-decision-cache] "
+         "[--stats=<file.json>]\n"
+      << "              [--trace=<file.json>] <file.rma | ->\n"
       << "  dprle analyze [--attack=sql|xss] [--all] [--no-taint-prune]\n"
-      << "                [--stats=<file.json>] [--trace=<file.json>] "
+      << "                [--no-decision-cache] [--stats=<file.json>]\n"
+      << "                [--trace=<file.json>] <file.php | ->\n"
+      << "  dprle taint [--attack=sql|xss] [--no-decision-cache]\n"
+      << "              [--stats=<file.json>] [--trace=<file.json>] "
          "<file.php | ->\n"
-      << "  dprle taint [--attack=sql|xss] [--stats=<file.json>]\n"
-      << "              [--trace=<file.json>] <file.php | ->\n"
       << "  dprle automata <op> <machine...>\n"
       << "     ops: info, minimize, complement, dot, to-regex, shortest,\n"
       << "          enumerate, intersect, union, concat, equiv, subset,\n"
@@ -214,6 +234,8 @@ int dprle::tools::runSolve(const std::vector<std::string> &Args,
   for (const std::string &Arg : Args) {
     if (Arg == "--first")
       Opts.MaxSolutions = 1;
+    else if (Arg == "--no-decision-cache")
+      DecisionCache::global().setEnabled(false);
     else if (Obs.consume(Arg))
       continue;
     else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -256,8 +278,9 @@ int dprle::tools::runSolve(const std::vector<std::string> &Args,
       SolverSection[Name] = Value;
     SolverSection["solve_seconds"] = R.Stats.SolveSeconds;
     Doc["solver"] = std::move(SolverSection);
-    Doc["automata"] =
-        automataSection(Before, StatsRegistry::global().snapshot());
+    StatsRegistry::Snapshot After = StatsRegistry::global().snapshot();
+    Doc["automata"] = automataSection(Before, After);
+    Doc["decide"] = decideSection(Before, After);
     ArtifactsOk =
         ObservabilityOptions::writeJson(Obs.StatsPath, Doc, Err) && ArtifactsOk;
   }
@@ -300,6 +323,8 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
       Opts.SymExec.StopAtFirstSink = false;
     } else if (Arg == "--no-taint-prune") {
       Opts.TaintPrune = false;
+    } else if (Arg == "--no-decision-cache") {
+      DecisionCache::global().setEnabled(false);
     } else if (Obs.consume(Arg)) {
       continue;
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -349,6 +374,8 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
     StatsRegistry::Snapshot After = StatsRegistry::global().snapshot();
     Doc["taint"] = taintSection(Before, After);
     Doc["automata"] = automataSection(Before, After);
+    Doc["decide"] = decideSection(Before, After);
+    Doc["symexec"] = prefixSection(Before, After, "miniphp.symexec.");
     ArtifactsOk =
         ObservabilityOptions::writeJson(Obs.StatsPath, Doc, Err) && ArtifactsOk;
   }
@@ -390,6 +417,8 @@ int dprle::tools::runTaint(const std::vector<std::string> &Args,
       Attack = miniphp::AttackSpec::sqlQuote();
     } else if (Arg == "--attack=xss") {
       Attack = miniphp::AttackSpec::xssScriptTag();
+    } else if (Arg == "--no-decision-cache") {
+      DecisionCache::global().setEnabled(false);
     } else if (Obs.consume(Arg)) {
       continue;
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -449,6 +478,7 @@ int dprle::tools::runTaint(const std::vector<std::string> &Args,
     StatsRegistry::Snapshot After = StatsRegistry::global().snapshot();
     Doc["taint"] = taintSection(Before, After);
     Doc["automata"] = automataSection(Before, After);
+    Doc["decide"] = decideSection(Before, After);
     ArtifactsOk =
         ObservabilityOptions::writeJson(Obs.StatsPath, Doc, Err) && ArtifactsOk;
   }
