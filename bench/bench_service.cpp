@@ -1,0 +1,238 @@
+//===- bench_service.cpp - Concurrent solving-service throughput ----------===//
+//
+// Pushes the Figure 11 corpus through `dprle serve`'s scheduler at job
+// counts {1, 2, 4, 8}: every sink path of every corpus file becomes one
+// NDJSON solve request, and each configuration answers the same batch.
+//
+// Two gates:
+//   * correctness (always enforced): the per-request verdicts at jobs=4
+//     must be identical to the serial run — the service's determinism
+//     guarantee (docs/SERVICE.md);
+//   * scaling (enforced only when the hardware has >= 4 cores): jobs=4
+//     must beat jobs=1 by >= 2.5x on batch wall time. On smaller machines
+//     the measured ratio is reported and the gate is skipped — a 1-core
+//     container cannot demonstrate parallel speedup.
+//
+// Emits BENCH_service.json with per-configuration throughput and p50/p95
+// request latency (the per-request solver wall time reported in each
+// response).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "miniphp/Cfg.h"
+#include "miniphp/Corpus.h"
+#include "miniphp/Parser.h"
+#include "miniphp/SymExec.h"
+#include "miniphp/Unroll.h"
+#include "service/Service.h"
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+using namespace dprle::service;
+
+namespace {
+
+/// One prepared request: an id and the NDJSON line carrying it.
+struct PreparedRequest {
+  std::string Id;
+  std::string Line;
+};
+
+/// Sink paths per file pushed through the service. The corpus has files
+/// with many redundant paths; a handful per file keeps the batch
+/// representative without repeating near-identical instances. The number
+/// dropped is reported in the artifact (paths_dropped).
+constexpr size_t MaxPathsPerFile = 4;
+
+std::string solveRequestLine(const std::string &Id,
+                             const std::string &Constraints) {
+  Json Req = Json::object();
+  Req["id"] = Id;
+  Req["method"] = "solve";
+  Json Params = Json::object();
+  Params["constraints"] = Constraints;
+  Params["max_solutions"] = 1;
+  Req["params"] = std::move(Params);
+  return Req.dump(0);
+}
+
+/// Figure 11 corpus -> one solve request per (capped) sink path.
+std::vector<PreparedRequest> buildBatch(size_t &PathsDropped) {
+  std::vector<PreparedRequest> Out;
+  SymExecOptions SymOpts;
+  SymOpts.TaintPrune = true;
+  for (const Suite &S : figure11Suites()) {
+    for (const SuiteFile &F : S.Files) {
+      ParseResult P = parseProgram(F.Source);
+      if (!P.Ok) {
+        std::fprintf(stderr, "parse error in %s/%s: %s\n", S.Name.c_str(),
+                     F.Name.c_str(), P.Error.c_str());
+        continue;
+      }
+      Program Unrolled = unrollLoops(P.Prog, 3);
+      Cfg G = Cfg::build(Unrolled);
+      std::vector<PathCondition> Paths =
+          enumerateSinkPaths(Unrolled, G, AttackSpec::sqlQuote(), SymOpts);
+      size_t Take = std::min(Paths.size(), MaxPathsPerFile);
+      PathsDropped += Paths.size() - Take;
+      for (size_t I = 0; I != Take; ++I) {
+        std::string Id =
+            S.Name + "/" + F.Name + "#" + std::to_string(I);
+        Out.push_back({Id, solveRequestLine(Id, Paths[I].Instance.str())});
+      }
+    }
+  }
+  return Out;
+}
+
+/// The verdict-relevant slice of a response, for cross-configuration
+/// comparison: satisfiable + the full assignment list (or the error code).
+std::string verdictKey(const Json &Resp) {
+  const Json *Ok = Resp.find("ok");
+  if (!Ok || !Ok->isBool())
+    return "malformed:" + Resp.dump(0);
+  if (!Ok->asBool())
+    return "error:" + Resp.find("error")->find("code")->asString();
+  const Json *Result = Resp.find("result");
+  Json Key = Json::object();
+  Key["satisfiable"] = *Result->find("satisfiable");
+  Key["assignments"] = *Result->find("assignments");
+  return Key.dump(0);
+}
+
+struct BatchOutcome {
+  double WallSeconds = 0.0;
+  /// Id -> verdict key.
+  std::map<std::string, std::string> Verdicts;
+  /// Per-request solver wall times, sorted ascending.
+  std::vector<double> Latencies;
+};
+
+BatchOutcome runBatch(const std::vector<PreparedRequest> &Batch,
+                      unsigned Jobs) {
+  std::string Input;
+  for (const PreparedRequest &R : Batch)
+    Input += R.Line + "\n";
+  std::istringstream In(Input);
+  std::ostringstream Out;
+
+  ServiceOptions Opts;
+  Opts.Jobs = Jobs;
+  SolverService Service(Opts);
+  Timer Clock;
+  Service.serve(In, Out);
+
+  BatchOutcome Outcome;
+  Outcome.WallSeconds = Clock.seconds();
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    if (Line.empty())
+      continue;
+    std::optional<Json> Resp = Json::parse(Line);
+    if (!Resp) {
+      std::fprintf(stderr, "unparseable response: %s\n", Line.c_str());
+      continue;
+    }
+    Outcome.Verdicts[Resp->find("id")->asString()] = verdictKey(*Resp);
+    if (const Json *Result = Resp->find("result"))
+      if (const Json *Solver = Result->find("solver"))
+        if (const Json *Seconds = Solver->find("solve_seconds"))
+          Outcome.Latencies.push_back(Seconds->asDouble());
+  }
+  std::sort(Outcome.Latencies.begin(), Outcome.Latencies.end());
+  return Outcome;
+}
+
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Index = static_cast<size_t>(P * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Index, Sorted.size() - 1)];
+}
+
+} // namespace
+
+int main() {
+  std::printf("Concurrent solving service: Figure 11 corpus through "
+              "`dprle serve` at jobs {1, 2, 4, 8}.\n\n");
+
+  size_t PathsDropped = 0;
+  std::vector<PreparedRequest> Batch = buildBatch(PathsDropped);
+  if (Batch.empty()) {
+    std::fprintf(stderr, "no requests generated from the corpus\n");
+    return 1;
+  }
+  std::printf("batch: %zu solve requests (%zu further sink paths per-file "
+              "capped)\n\n",
+              Batch.size(), PathsDropped);
+  std::printf("%6s %10s %14s %12s %12s\n", "jobs", "wall (s)",
+              "req/s", "p50 (s)", "p95 (s)");
+  std::printf("%.*s\n", 58,
+              "-----------------------------------------------------------");
+
+  benchjson::BenchReport Report("service");
+  std::map<unsigned, BatchOutcome> Outcomes;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    BatchOutcome O = runBatch(Batch, Jobs);
+    std::printf("%6u %10.3f %14.1f %12.4f %12.4f\n", Jobs, O.WallSeconds,
+                double(Batch.size()) / O.WallSeconds,
+                percentile(O.Latencies, 0.50), percentile(O.Latencies, 0.95));
+    benchjson::BenchRun &Run =
+        Report.addRun("jobs_" + std::to_string(Jobs));
+    Run.RealSeconds = O.WallSeconds;
+    Run.Counters = {
+        {"jobs", double(Jobs)},
+        {"requests", double(Batch.size())},
+        {"paths_dropped", double(PathsDropped)},
+        {"throughput_rps", double(Batch.size()) / O.WallSeconds},
+        {"latency_p50_seconds", percentile(O.Latencies, 0.50)},
+        {"latency_p95_seconds", percentile(O.Latencies, 0.95)},
+    };
+    Outcomes[Jobs] = std::move(O);
+  }
+
+  // Correctness gate: jobs=4 answers must match serial exactly.
+  bool VerdictsMatch = Outcomes[4].Verdicts == Outcomes[1].Verdicts &&
+                       Outcomes[1].Verdicts.size() == Batch.size();
+  std::printf("\njobs=4 verdicts %s the serial run (%zu/%zu answered)\n",
+              VerdictsMatch ? "MATCH" : "DO NOT MATCH",
+              Outcomes[4].Verdicts.size(), Batch.size());
+
+  // Scaling gate: only meaningful with >= 4 cores.
+  double Speedup = Outcomes[4].WallSeconds > 0.0
+                       ? Outcomes[1].WallSeconds / Outcomes[4].WallSeconds
+                       : 0.0;
+  unsigned Cores = std::thread::hardware_concurrency();
+  bool ScalingOk = true;
+  if (Cores >= 4) {
+    ScalingOk = Speedup >= 2.5;
+    std::printf("jobs=4 speedup %.2fx over serial (gate: >= 2.5x on %u "
+                "cores) — %s\n",
+                Speedup, Cores, ScalingOk ? "PASS" : "FAIL");
+  } else {
+    std::printf("jobs=4 speedup %.2fx over serial — scaling gate skipped "
+                "(%u core%s; need >= 4)\n",
+                Speedup, Cores, Cores == 1 ? "" : "s");
+  }
+  benchjson::BenchRun &Gate = Report.addRun("gates");
+  Gate.Counters = {{"verdicts_match", VerdictsMatch ? 1.0 : 0.0},
+                   {"speedup_jobs4", Speedup},
+                   {"hardware_threads", double(Cores)},
+                   {"scaling_gate_enforced", Cores >= 4 ? 1.0 : 0.0},
+                   {"scaling_gate_ok", ScalingOk ? 1.0 : 0.0}};
+
+  Report.write();
+  return VerdictsMatch && ScalingOk ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Minimal NDJSON client for `dprle serve` (docs/SERVICE.md).
+
+Spawns the service as a subprocess, submits a batch of requests, and
+correlates responses by id (the service answers in *completion* order,
+so responses can arrive out of request order at --jobs > 1).
+
+Standard library only. Usage:
+
+    python3 examples/service_client.py [path/to/dprle] [--jobs=N]
+
+The demo batch exercises each method: ping, a satisfiable solve (the
+paper's Section 2 motivating example), an unsatisfiable solve, a decide
+query, a deliberately malformed request (structured error, not a crash),
+and shutdown.
+"""
+
+import json
+import subprocess
+import sys
+
+
+MOTIVATING = (
+    "var v1;"
+    "let attack := search(/'/);"
+    "v1 <= search(/[0-9]+$/);"
+    '"nid_" . v1 <= attack;'
+)
+
+
+def demo_requests():
+    """The request batch: (id, method, params) triples."""
+    return [
+        ("ping-1", "ping", {}),
+        ("solve-sat", "solve", {"constraints": MOTIVATING,
+                                "max_solutions": 1}),
+        ("solve-unsat", "solve", {"constraints":
+                                  "var v; v <= /a/; v <= /b/;"}),
+        ("solve-slow", "solve", {"constraints": "var v; v <= /a*b*c*/;",
+                                 "deadline_ms": 10000}),
+        ("stats-1", "stats", {}),
+    ]
+
+
+def main():
+    binary = "./build/tools/dprle"
+    jobs = "--jobs=2"
+    for arg in sys.argv[1:]:
+        if arg.startswith("--jobs="):
+            jobs = arg
+        else:
+            binary = arg
+
+    proc = subprocess.Popen(
+        [binary, "serve", jobs],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+    requests = demo_requests()
+    lines = [json.dumps({"id": rid, "method": method, "params": params})
+             for rid, method, params in requests]
+    # One malformed line: the service answers it with a structured
+    # parse_error response (id null) instead of dying.
+    lines.append("this is not json")
+    lines.append(json.dumps({"id": "bye", "method": "shutdown"}))
+    out, _ = proc.communicate("\n".join(lines) + "\n")
+
+    by_id = {}
+    unattributed = []
+    for line in out.splitlines():
+        if not line.strip():
+            continue
+        resp = json.loads(line)
+        if resp.get("id") is None:
+            unattributed.append(resp)
+        else:
+            by_id[resp["id"]] = resp
+
+    for rid, method, _ in requests:
+        resp = by_id.get(rid)
+        if resp is None:
+            print(f"{rid}: NO RESPONSE")
+            continue
+        if resp["ok"]:
+            result = resp["result"]
+            if method == "solve":
+                verdict = "sat" if result["satisfiable"] else "unsat"
+                witness = ""
+                if result["assignments"]:
+                    first = result["assignments"][0]
+                    witness = " " + ", ".join(
+                        f"{var}={entry.get('witness')!r}"
+                        for var, entry in sorted(first.items()))
+                print(f"{rid}: {verdict}{witness}")
+            elif method == "stats":
+                cache = result["decision_cache"]
+                print(f"{rid}: jobs={result['jobs']} "
+                      f"cache={cache['machines']} machines / "
+                      f"{cache['answers']} answers")
+            else:
+                print(f"{rid}: ok")
+        else:
+            err = resp["error"]
+            print(f"{rid}: error {err['code']}: {err['message']}")
+
+    for resp in unattributed:
+        err = resp.get("error", {})
+        print(f"(id null): error {err.get('code')}: {err.get('message')}")
+
+    shutdown = by_id.get("bye")
+    print("shutdown acknowledged" if shutdown and shutdown["ok"]
+          else "shutdown NOT acknowledged")
+    return proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

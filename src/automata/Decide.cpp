@@ -2,6 +2,7 @@
 
 #include "automata/Decide.h"
 #include "automata/Dfa.h"
+#include "support/Executor.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -310,9 +311,11 @@ DecisionCache &DecisionCache::global() {
 
 namespace {
 
-/// Bounded cache sizes; overflowing either flushes everything.
-constexpr size_t MaxCachedMachines = 1 << 12;
-constexpr size_t MaxCachedAnswers = 1 << 16;
+/// Bounded per-shard cache sizes; overflowing either flushes that shard.
+/// With 16 shards the process-wide footprint cap matches the historical
+/// single-table bounds (2^12 machines / 2^16 answers).
+constexpr size_t MaxCachedMachinesPerShard = 1 << 8;
+constexpr size_t MaxCachedAnswersPerShard = 1 << 12;
 
 void appendU32(std::string &Out, uint32_t V) {
   Out.push_back(static_cast<char>(V));
@@ -348,31 +351,58 @@ std::string encodeMachine(const Nfa &M) {
   return Out;
 }
 
-} // namespace
-
-uint32_t DecisionCache::internMachine(const Nfa &M) {
+/// Interns \p Encoding in \p Machines; the caller holds the shard lock.
+uint32_t internEncoding(std::unordered_map<std::string, uint32_t> &Machines,
+                        std::string Encoding) {
   auto [It, Inserted] =
-      Machines.try_emplace(encodeMachine(M), uint32_t(Machines.size()));
+      Machines.try_emplace(std::move(Encoding), uint32_t(Machines.size()));
   return It->second;
 }
 
+} // namespace
+
+void DecisionCache::setEnabled(bool E) {
+  assert(!parallelRegionActive() &&
+         "DecisionCache::setEnabled while a parallel region is active");
+  Enabled.store(E, std::memory_order_relaxed);
+}
+
 std::optional<bool> DecisionCache::lookup(Query Q, const Nfa &L,
-                                          const Nfa *R, uint64_t &KeyOut) {
-  KeyOut = InvalidKey;
-  if (!Enabled)
+                                          const Nfa *R, Key &KeyOut) {
+  KeyOut = Key();
+  if (!enabled())
     return std::nullopt;
-  if (Machines.size() > MaxCachedMachines ||
-      Answers.size() > MaxCachedAnswers) {
-    clear();
+  std::string EncL = encodeMachine(L);
+  std::string EncR = R ? encodeMachine(*R) : std::string();
+  // Both operands' interning must live behind one lock, so the shard is a
+  // function of the *pair* of encodings. The rotate keeps (A, B) and
+  // (B, A) on different shards without biasing either operand.
+  std::hash<std::string> Hash;
+  size_t PairHash = Hash(EncL);
+  if (R) {
+    size_t HR = Hash(EncR);
+    PairHash ^= (HR << 17) | (HR >> (sizeof(size_t) * 8 - 17));
+  }
+  uint32_t ShardIdx = uint32_t(PairHash % NumShards);
+  Shard &S = Shards[ShardIdx];
+
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Machines.size() > MaxCachedMachinesPerShard ||
+      S.Answers.size() > MaxCachedAnswersPerShard) {
+    S.Machines.clear();
+    S.Answers.clear();
+    ++S.Epoch;
     DecideStats::global().CacheEvictions++;
   }
-  uint64_t IdL = internMachine(L);
-  uint64_t IdR = R ? internMachine(*R) : 0;
+  uint64_t IdL = internEncoding(S.Machines, std::move(EncL));
+  uint64_t IdR = R ? internEncoding(S.Machines, std::move(EncR)) : 0;
   // 8-bit kind | 28-bit lhs id | 28-bit rhs id. Ids cannot exceed 28 bits
-  // under the machine cap.
-  KeyOut = (uint64_t(Q) << 56) | (IdL << 28) | IdR;
-  auto It = Answers.find(KeyOut);
-  if (It == Answers.end()) {
+  // under the per-shard machine cap.
+  KeyOut.Shard = ShardIdx;
+  KeyOut.Epoch = S.Epoch;
+  KeyOut.Packed = (uint64_t(Q) << 56) | (IdL << 28) | IdR;
+  auto It = S.Answers.find(KeyOut.Packed);
+  if (It == S.Answers.end()) {
     DecideStats::global().CacheMisses++;
     return std::nullopt;
   }
@@ -380,15 +410,45 @@ std::optional<bool> DecisionCache::lookup(Query Q, const Nfa &L,
   return It->second;
 }
 
-void DecisionCache::store(uint64_t Key, bool Answer) {
-  if (Key == InvalidKey)
+void DecisionCache::store(const Key &K, bool Answer) {
+  if (!K.valid())
     return;
-  Answers.emplace(Key, Answer);
+  Shard &S = Shards[K.Shard];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  // A flush between lookup() and store() reassigned the machine ids the
+  // packed key names; filing the answer would poison the cache.
+  if (S.Epoch != K.Epoch)
+    return;
+  S.Answers.emplace(K.Packed, Answer);
 }
 
 void DecisionCache::clear() {
-  Machines.clear();
-  Answers.clear();
+  assert(!parallelRegionActive() &&
+         "DecisionCache::clear while a parallel region is active");
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Machines.clear();
+    S.Answers.clear();
+    ++S.Epoch;
+  }
+}
+
+size_t DecisionCache::numMachines() const {
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Total += S.Machines.size();
+  }
+  return Total;
+}
+
+size_t DecisionCache::numAnswers() const {
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Total += S.Answers.size();
+  }
+  return Total;
 }
 
 //===----------------------------------------------------------------------===//
@@ -398,7 +458,7 @@ void DecisionCache::clear() {
 bool dprle::emptyIntersection(const Nfa &Lhs, const Nfa &Rhs) {
   DPRLE_TRACE_SPAN("decide_empty_intersection");
   DecideStats::global().EmptyIntersectionQueries++;
-  uint64_t Key;
+  DecisionCache::Key Key;
   if (auto Hit = DecisionCache::global().lookup(
           DecisionCache::Query::EmptyIntersection, Lhs, &Rhs, Key))
     return *Hit;
@@ -427,7 +487,7 @@ std::optional<std::string> dprle::intersectionWitness(const Nfa &Lhs,
 bool dprle::subsetOf(const Nfa &Lhs, const Nfa &Rhs) {
   DPRLE_TRACE_SPAN("decide_subset");
   DecideStats::global().SubsetQueries++;
-  uint64_t Key;
+  DecisionCache::Key Key;
   if (auto Hit = DecisionCache::global().lookup(DecisionCache::Query::Subset,
                                                 Lhs, &Rhs, Key))
     return *Hit;
@@ -456,7 +516,7 @@ std::optional<std::string> dprle::subsetCounterexample(const Nfa &Lhs,
 bool dprle::equivalentTo(const Nfa &Lhs, const Nfa &Rhs) {
   DPRLE_TRACE_SPAN("decide_equivalent");
   DecideStats::global().EquivalenceQueries++;
-  uint64_t Key;
+  DecisionCache::Key Key;
   if (auto Hit = DecisionCache::global().lookup(
           DecisionCache::Query::Equivalent, Lhs, &Rhs, Key))
     return *Hit;
@@ -468,7 +528,7 @@ bool dprle::equivalentTo(const Nfa &Lhs, const Nfa &Rhs) {
 bool dprle::isEmpty(const Nfa &M) {
   DPRLE_TRACE_SPAN("decide_empty");
   DecideStats::global().EmptinessQueries++;
-  uint64_t Key;
+  DecisionCache::Key Key;
   if (auto Hit = DecisionCache::global().lookup(DecisionCache::Query::Empty,
                                                 M, nullptr, Key))
     return *Hit;

@@ -35,7 +35,10 @@
 /// identity (hash + interning, so repeated queries over shared machines —
 /// the taint pass's attack language, the solver's dedup comparisons — are
 /// O(|machine|) re-hashes instead of fresh product constructions). The
-/// cache can be disabled for debugging (`--no-decision-cache`).
+/// cache is *sharded* behind striped locks so pool workers of the solver
+/// service (src/service/) share memoized verdicts without contending on
+/// one table; see DecisionCache below. It can be disabled for debugging
+/// (`--no-decision-cache`).
 ///
 /// All queries are bit-identical to their materialized counterparts;
 /// tests/DecideTest.cpp pins this differentially over randomized NFAs.
@@ -46,41 +49,45 @@
 #define DPRLE_AUTOMATA_DECIDE_H
 
 #include "automata/Nfa.h"
+#include "support/Stats.h"
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 namespace dprle {
 
-/// Global (single-threaded) counters for the decision kernel, published
-/// into the StatsRegistry as "decide.*" (see docs/OBSERVABILITY.md).
+/// Process-wide counters for the decision kernel, published into the
+/// StatsRegistry as "decide.*" (see docs/OBSERVABILITY.md). RelaxedCounter
+/// fields: the service bumps them from concurrent pool workers.
 struct DecideStats {
   /// Queries by kind.
-  uint64_t EmptyIntersectionQueries = 0;
-  uint64_t SubsetQueries = 0;
-  uint64_t EquivalenceQueries = 0;
-  uint64_t EmptinessQueries = 0;
+  RelaxedCounter EmptyIntersectionQueries;
+  RelaxedCounter SubsetQueries;
+  RelaxedCounter EquivalenceQueries;
+  RelaxedCounter EmptinessQueries;
 
   /// Lazy-product pairs materialized by emptyIntersection / witness
   /// extraction.
-  uint64_t ProductPairsVisited = 0;
+  RelaxedCounter ProductPairsVisited;
   /// (L-state, R-macro-state) pairs materialized by subsetOf.
-  uint64_t MacroPairsVisited = 0;
+  RelaxedCounter MacroPairsVisited;
   /// Pairs discarded because an antichain entry already ⊆-dominated them.
-  uint64_t AntichainPrunes = 0;
+  RelaxedCounter AntichainPrunes;
 
   /// Queries resolved by finding a witness/counterexample before the
   /// frontier was exhausted, and the summed witness lengths at exit
   /// (average early-exit depth = EarlyExitDepthTotal / EarlyExits).
-  uint64_t EarlyExits = 0;
-  uint64_t EarlyExitDepthTotal = 0;
+  RelaxedCounter EarlyExits;
+  RelaxedCounter EarlyExitDepthTotal;
 
   /// DecisionCache accounting.
-  uint64_t CacheHits = 0;
-  uint64_t CacheMisses = 0;
-  uint64_t CacheEvictions = 0;
+  RelaxedCounter CacheHits;
+  RelaxedCounter CacheMisses;
+  RelaxedCounter CacheEvictions;
 
   void reset() { *this = DecideStats(); }
 
@@ -91,10 +98,21 @@ struct DecideStats {
 /// by a structural encoding (states, start, acceptance, transition labels;
 /// epsilon markers are deliberately excluded — they carry solver
 /// bookkeeping, not language), so two structurally identical machines share
-/// an id and their queries share cache entries. The table is bounded:
-/// overflowing either the machine or the answer map flushes everything
-/// (counted in DecideStats::CacheEvictions) rather than growing without
-/// bound.
+/// an id and their queries share cache entries.
+///
+/// Concurrency: the table is split into NumShards independent shards, each
+/// holding its own machine-interning map, answer map, and mutex. A query's
+/// shard is chosen by hashing the operand encodings, so both maps a query
+/// touches live behind one lock and workers querying different machines
+/// proceed in parallel. Each shard is bounded: overflowing either of its
+/// maps flushes that shard (counted in DecideStats::CacheEvictions) and
+/// bumps its *epoch*; store() revalidates the epoch so an in-flight answer
+/// computed against pre-flush machine ids can never be filed under
+/// reassigned ids.
+///
+/// setEnabled() and clear() mutate state that queries read without
+/// coordination and therefore assert that no parallel region is active
+/// (support/Executor.h) — configure the cache before starting a pool.
 class DecisionCache {
 public:
   enum class Query : uint8_t {
@@ -104,41 +122,59 @@ public:
     Empty = 3,
   };
 
-  /// Globally enables/disables memoization (the `--no-decision-cache`
-  /// flag). Disabling does not clear previously stored answers.
-  void setEnabled(bool E) { Enabled = E; }
-  bool enabled() const { return Enabled; }
+  /// Opaque resumption token produced by lookup() on a miss and consumed
+  /// by store().
+  struct Key {
+    uint32_t Shard = 0;
+    uint32_t Epoch = 0;
+    uint64_t Packed = InvalidPacked; ///< (query, lhs id, rhs id).
 
-  /// Drops every interned machine and stored answer.
+    bool valid() const { return Packed != InvalidPacked; }
+    static constexpr uint64_t InvalidPacked = ~uint64_t(0);
+  };
+
+  /// Globally enables/disables memoization (the `--no-decision-cache`
+  /// flag). Disabling does not clear previously stored answers. Must not
+  /// be called while a parallel region is active.
+  void setEnabled(bool E);
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Drops every interned machine and stored answer. Must not be called
+  /// while a parallel region is active.
   void clear();
 
-  size_t numMachines() const { return Machines.size(); }
-  size_t numAnswers() const { return Answers.size(); }
+  /// Totals across shards (diagnostics; momentary under concurrency).
+  size_t numMachines() const;
+  size_t numAnswers() const;
 
   /// Looks up the memoized answer for \p Q over \p L (and \p R for binary
   /// queries; pass nullptr for isEmpty). On a miss, \p KeyOut receives a
   /// token that store() accepts; when the cache is disabled the lookup
   /// misses without counting and \p KeyOut is invalidated.
   std::optional<bool> lookup(Query Q, const Nfa &L, const Nfa *R,
-                             uint64_t &KeyOut);
+                             Key &KeyOut);
 
-  /// Stores \p Answer under a key produced by lookup(). No-op for the
-  /// invalid key (cache disabled at lookup time).
-  void store(uint64_t Key, bool Answer);
-
-  /// The token store() ignores.
-  static constexpr uint64_t InvalidKey = ~uint64_t(0);
+  /// Stores \p Answer under a key produced by lookup(). No-op for an
+  /// invalid key (cache disabled at lookup time) or a stale one (the
+  /// shard was flushed since the lookup).
+  void store(const Key &K, bool Answer);
 
   static DecisionCache &global();
 
 private:
-  uint32_t internMachine(const Nfa &M);
+  static constexpr size_t NumShards = 16;
 
-  bool Enabled = true;
-  /// Structural encoding -> machine id.
-  std::unordered_map<std::string, uint32_t> Machines;
-  /// Packed (query, lhs id, rhs id) -> answer.
-  std::unordered_map<uint64_t, bool> Answers;
+  struct Shard {
+    mutable std::mutex Mutex;
+    uint32_t Epoch = 0;
+    /// Structural encoding -> machine id (shard-local id space).
+    std::unordered_map<std::string, uint32_t> Machines;
+    /// Packed (query, lhs id, rhs id) -> answer.
+    std::unordered_map<uint64_t, bool> Answers;
+  };
+
+  Shard Shards[NumShards];
+  std::atomic<bool> Enabled{true};
 };
 
 /// True iff L(Lhs) ∩ L(Rhs) = ∅. Never materializes the product machine.

@@ -12,22 +12,26 @@
 #ifndef DPRLE_AUTOMATA_OPSTATS_H
 #define DPRLE_AUTOMATA_OPSTATS_H
 
+#include "support/Stats.h"
+
 #include <cstdint>
 
 namespace dprle {
 
-/// Global (single-threaded) counters incremented by the automata library.
+/// Global counters incremented by the automata library. RelaxedCounter
+/// fields because the solver service (src/service/) runs automata
+/// operations on pool worker threads concurrently.
 struct OpStats {
   /// Product states materialized by intersect().
-  uint64_t ProductStatesVisited = 0;
+  RelaxedCounter ProductStatesVisited;
   /// Subset-construction states materialized by determinize().
-  uint64_t DeterminizeStatesVisited = 0;
+  RelaxedCounter DeterminizeStatesVisited;
   /// States examined while trimming machines.
-  uint64_t TrimStatesVisited = 0;
+  RelaxedCounter TrimStatesVisited;
   /// Steps taken during epsilon-closure computations.
-  uint64_t EpsilonClosureSteps = 0;
+  RelaxedCounter EpsilonClosureSteps;
   /// States copied by induce_from_start / induce_from_final enumeration.
-  uint64_t InduceStatesVisited = 0;
+  RelaxedCounter InduceStatesVisited;
 
   /// The paper's headline "states visited" metric (Section 3.5): the sum
   /// of the counters that materialize or examine machine *states*.

@@ -25,6 +25,7 @@
 #include "miniphp/Ast.h"
 #include "miniphp/Cfg.h"
 #include "solver/Problem.h"
+#include "support/Stats.h"
 
 #include <cstdint>
 #include <map>
@@ -114,7 +115,7 @@ struct SymExecStats {
   /// Branch edges never explored because their constant-only condition
   /// was decided infeasible by the decision kernel
   /// (SymExecOptions::ConstantFeasibilityPrune).
-  uint64_t InfeasibleEdgesPruned = 0;
+  RelaxedCounter InfeasibleEdgesPruned;
 
   void reset() { *this = SymExecStats(); }
 

@@ -32,6 +32,7 @@
 #include "automata/Nfa.h"
 #include "miniphp/Cfg.h"
 #include "miniphp/SymExec.h"
+#include "support/Stats.h"
 
 #include <cstdint>
 #include <map>
@@ -135,23 +136,23 @@ TaintResult analyzeTaint(const Program &P, const Cfg &G,
 /// under "miniphp.taint.*" (see docs/OBSERVABILITY.md).
 struct TaintStats {
   /// analyzeTaint() invocations.
-  uint64_t Runs = 0;
+  RelaxedCounter Runs;
   /// Sinks examined (matching the attack spec), across runs.
-  uint64_t SinksSeen = 0;
+  RelaxedCounter SinksSeen;
   /// Sinks proven safe without solving.
-  uint64_t SinksProvenSafe = 0;
+  RelaxedCounter SinksProvenSafe;
   /// Sanitizer edges applied (preg_match / equality refinements).
-  uint64_t EdgesRefined = 0;
+  RelaxedCounter EdgesRefined;
   /// Values widened to Sigma-star at the state cap.
-  uint64_t ApproxWidened = 0;
+  RelaxedCounter ApproxWidened;
   /// Dataflow sweeps executed (1 per run on DAG CFGs).
-  uint64_t FixpointPasses = 0;
+  RelaxedCounter FixpointPasses;
   /// Path-exploration prunes performed by SymExec using taint facts:
   /// blocks never entered, assignments never evaluated, and sink-path
   /// emissions skipped.
-  uint64_t BlocksPruned = 0;
-  uint64_t AssignsSkipped = 0;
-  uint64_t SinkPathsPruned = 0;
+  RelaxedCounter BlocksPruned;
+  RelaxedCounter AssignsSkipped;
+  RelaxedCounter SinkPathsPruned;
 
   void reset() { *this = TaintStats(); }
 

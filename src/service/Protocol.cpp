@@ -1,0 +1,96 @@
+//===- Protocol.cpp - NDJSON service protocol ---------------------------------//
+
+#include "service/Protocol.h"
+
+using namespace dprle;
+using namespace dprle::service;
+
+const char *dprle::service::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::ParseError:
+    return "parse_error";
+  case ErrorCode::InvalidRequest:
+    return "invalid_request";
+  case ErrorCode::UnknownMethod:
+    return "unknown_method";
+  case ErrorCode::InvalidParams:
+    return "invalid_params";
+  case ErrorCode::OversizedMachine:
+    return "oversized_machine";
+  case ErrorCode::Timeout:
+    return "timeout";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  }
+  return "internal_error";
+}
+
+RequestParse dprle::service::parseRequest(const std::string &Line) {
+  RequestParse Out;
+  std::string Error;
+  std::optional<Json> Doc = Json::parse(Line, &Error);
+  if (!Doc) {
+    Out.Code = ErrorCode::ParseError;
+    Out.Message = Error.empty() ? "request is not valid JSON" : Error;
+    return Out;
+  }
+  if (!Doc->isObject()) {
+    Out.Code = ErrorCode::InvalidRequest;
+    Out.Message = "request must be a JSON object";
+    return Out;
+  }
+  // Recover the id first so even ill-formed requests get correlated
+  // error responses.
+  if (const Json *Id = Doc->find("id"))
+    if (Id->isString() || Id->isNumber())
+      Out.Id = *Id;
+  const Json *Method = Doc->find("method");
+  if (!Method || !Method->isString() || Method->asString().empty()) {
+    Out.Code = ErrorCode::InvalidRequest;
+    Out.Message = "request needs a non-empty string \"method\"";
+    return Out;
+  }
+  if (Out.Id.isNull() && !Doc->find("id")) {
+    Out.Code = ErrorCode::InvalidRequest;
+    Out.Message = "request needs an \"id\" (string or number)";
+    return Out;
+  }
+  if (Out.Id.isNull()) {
+    Out.Code = ErrorCode::InvalidRequest;
+    Out.Message = "\"id\" must be a string or a number";
+    return Out;
+  }
+  Request R;
+  R.Id = Out.Id;
+  R.Method = Method->asString();
+  if (const Json *Params = Doc->find("params")) {
+    if (!Params->isObject()) {
+      Out.Code = ErrorCode::InvalidParams;
+      Out.Message = "\"params\" must be an object";
+      return Out;
+    }
+    R.Params = *Params;
+  }
+  Out.Req = std::move(R);
+  return Out;
+}
+
+Json dprle::service::makeResult(const Json &Id, Json Result) {
+  Json Out = Json::object();
+  Out["id"] = Id;
+  Out["ok"] = true;
+  Out["result"] = std::move(Result);
+  return Out;
+}
+
+Json dprle::service::makeError(const Json &Id, ErrorCode Code,
+                               const std::string &Message) {
+  Json Out = Json::object();
+  Out["id"] = Id;
+  Out["ok"] = false;
+  Json Error = Json::object();
+  Error["code"] = errorCodeName(Code);
+  Error["message"] = Message;
+  Out["error"] = std::move(Error);
+  return Out;
+}

@@ -1,0 +1,86 @@
+//===- Protocol.h - NDJSON service protocol ---------------------*- C++ -*-==//
+///
+/// \file
+/// The wire format of `dprle serve` (docs/SERVICE.md): newline-delimited
+/// JSON, one request object per line in, one response object per line out.
+///
+/// Request:  {"id": <string|number>, "method": "<name>", "params": {...}}
+/// Response: {"id": ..., "ok": true,  "result": {...}}
+///       or  {"id": ..., "ok": false, "error": {"code": "...",
+///                                              "message": "..."}}
+///
+/// The id is echoed verbatim (responses may arrive out of request order —
+/// requests run concurrently on the pool). Error codes are a closed set
+/// (errorCodeName); clients dispatch on "code", "message" is diagnostics.
+///
+/// This layer is pure parse/format — no I/O, no solving — so tests can
+/// drive it with plain strings. The Json type is support/Json.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SERVICE_PROTOCOL_H
+#define DPRLE_SERVICE_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <optional>
+#include <string>
+
+namespace dprle {
+namespace service {
+
+/// The closed set of protocol error codes.
+enum class ErrorCode {
+  /// The request line is not valid JSON.
+  ParseError,
+  /// Valid JSON but not a request object (missing/ill-typed id or method).
+  InvalidRequest,
+  /// The method name is not one the service implements.
+  UnknownMethod,
+  /// The method's params are missing, ill-typed, or unparseable (bad
+  /// constraint text, bad serialized NFA, ...).
+  InvalidParams,
+  /// An operand machine exceeds the service's --max-states limit.
+  OversizedMachine,
+  /// The request's deadline expired mid-solve.
+  Timeout,
+  /// The request was cancelled explicitly (client disconnect, shutdown).
+  Cancelled,
+};
+
+/// The stable wire name of \p Code ("parse_error", "timeout", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// One parsed request.
+struct Request {
+  Json Id;     ///< Echoed verbatim; string or number.
+  std::string Method;
+  Json Params; ///< Object; Kind::Null when the request carried none.
+};
+
+/// Outcome of parsing one request line.
+struct RequestParse {
+  std::optional<Request> Req;
+  /// Set when !Req: what to report.
+  ErrorCode Code = ErrorCode::ParseError;
+  std::string Message;
+  /// Best-effort id recovered from the malformed request (null when none),
+  /// so the error response still correlates.
+  Json Id;
+
+  bool ok() const { return Req.has_value(); }
+};
+
+/// Parses one NDJSON request line. Never throws.
+RequestParse parseRequest(const std::string &Line);
+
+/// Builds the success envelope.
+Json makeResult(const Json &Id, Json Result);
+
+/// Builds the error envelope.
+Json makeError(const Json &Id, ErrorCode Code, const std::string &Message);
+
+} // namespace service
+} // namespace dprle
+
+#endif // DPRLE_SERVICE_PROTOCOL_H

@@ -1,0 +1,297 @@
+//===- Service.cpp - Concurrent solving service -------------------------------//
+
+#include "service/Service.h"
+
+#include "automata/Decide.h"
+#include "automata/Serialize.h"
+#include "solver/ConstraintParser.h"
+#include "solver/Solver.h"
+#include "support/Stats.h"
+
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+using namespace dprle;
+using namespace dprle::service;
+
+namespace {
+
+/// The "decide" stats section of a response: the process-wide decide.*
+/// registry delta over the request window. Exact when Jobs = 1 (requests
+/// run sequentially); approximate under concurrency (other requests'
+/// queries land in the same window) — see docs/SERVICE.md.
+Json decideDelta(const StatsRegistry::Snapshot &Before) {
+  StatsRegistry::Snapshot After = StatsRegistry::global().snapshot();
+  StatsRegistry::Snapshot Delta = StatsRegistry::delta(Before, After);
+  Json Out = Json::object();
+  for (const auto &[Name, Value] : Delta) {
+    if (Name.rfind("decide.", 0) != 0)
+      continue;
+    Out[Name.substr(std::char_traits<char>::length("decide."))] = Value;
+  }
+  return Out;
+}
+
+/// Cancellation-aware error: deadline expiry reports as timeout, an
+/// explicit cancel as cancelled.
+Json cancelError(const Json &Id, const CancellationToken &Token) {
+  if (Token.deadlineExpired())
+    return makeError(Id, ErrorCode::Timeout, "deadline exceeded");
+  return makeError(Id, ErrorCode::Cancelled, "request cancelled");
+}
+
+/// Reads an optional unsigned param; false on type error.
+bool readUnsigned(const Json &Params, const char *Name, uint64_t &Out,
+                  bool &Present) {
+  Present = false;
+  const Json *V = Params.find(Name);
+  if (!V)
+    return true;
+  if (!V->isNumber())
+    return false;
+  Out = V->asUnsigned();
+  Present = true;
+  return true;
+}
+
+} // namespace
+
+SolverService::SolverService(const ServiceOptions &Opts)
+    : Opts(Opts), Pool(Opts.Jobs == 0 ? 1 : Opts.Jobs) {}
+
+Json SolverService::handleLine(const std::string &Line,
+                               CancellationToken *External) {
+  RequestParse P = parseRequest(Line);
+  if (!P.ok())
+    return makeError(P.Id, P.Code, P.Message);
+  return handleRequest(*P.Req, External);
+}
+
+Json SolverService::handleRequest(const Request &R,
+                                  CancellationToken *External) {
+  CancellationToken Local;
+  CancellationToken &Token = External ? *External : Local;
+
+  // Arm the deadline when the job starts: an explicit deadline_ms param
+  // (0 is valid and expires immediately — the deterministic-timeout test
+  // hook) overrides the service default (where 0 means "none").
+  uint64_t DeadlineMs = 0;
+  bool HasParam = false;
+  if (!readUnsigned(R.Params, "deadline_ms", DeadlineMs, HasParam))
+    return makeError(R.Id, ErrorCode::InvalidParams,
+                     "\"deadline_ms\" must be a number");
+  if (HasParam)
+    Token.setDeadlineAfterMs(DeadlineMs);
+  else if (Opts.DefaultDeadlineMs != 0)
+    Token.setDeadlineAfterMs(Opts.DefaultDeadlineMs);
+
+  return dispatch(R, Token);
+}
+
+Json SolverService::dispatch(const Request &R, CancellationToken &Token) {
+  if (R.Method == "ping") {
+    Json Result = Json::object();
+    Result["pong"] = true;
+    return makeResult(R.Id, std::move(Result));
+  }
+  if (R.Method == "stats")
+    return makeResult(R.Id, doStats());
+  if (R.Method == "solve")
+    return doSolve(R, Token);
+  if (R.Method == "decide")
+    return doDecide(R, Token);
+  if (R.Method == "shutdown") {
+    // serve() intercepts shutdown before scheduling; answering here keeps
+    // the synchronous (test) entry points total.
+    Json Result = Json::object();
+    Result["shutting_down"] = true;
+    return makeResult(R.Id, std::move(Result));
+  }
+  return makeError(R.Id, ErrorCode::UnknownMethod,
+                   "unknown method \"" + R.Method + "\"");
+}
+
+Json SolverService::doSolve(const Request &R, CancellationToken &Token) {
+  const Json *Text = R.Params.find("constraints");
+  if (!Text || !Text->isString())
+    return makeError(R.Id, ErrorCode::InvalidParams,
+                     "\"constraints\" must be a string of constraint "
+                     "syntax (see docs/SERVICE.md)");
+  uint64_t MaxSolutions = 0;
+  bool HasMax = false;
+  if (!readUnsigned(R.Params, "max_solutions", MaxSolutions, HasMax) ||
+      (HasMax && MaxSolutions == 0))
+    return makeError(R.Id, ErrorCode::InvalidParams,
+                     "\"max_solutions\" must be a positive number");
+
+  ConstraintParseResult Parsed = parseConstraintText(Text->asString());
+  if (!Parsed.Ok) {
+    std::ostringstream Msg;
+    Msg << "constraint parse error at line " << Parsed.ErrorLine << ": "
+        << Parsed.Error;
+    return makeError(R.Id, ErrorCode::InvalidParams, Msg.str());
+  }
+
+  SolverOptions SOpts;
+  if (HasMax)
+    SOpts.MaxSolutions = MaxSolutions;
+  SOpts.Jobs = Opts.Jobs;
+  SOpts.Exec = Opts.Jobs > 1 ? &Pool : nullptr;
+  SOpts.Cancel = &Token;
+
+  StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
+  SolveResult SR = Solver(SOpts).solve(Parsed.Instance);
+  if (SR.Cancelled)
+    return cancelError(R.Id, Token);
+
+  const Problem &P = Parsed.Instance;
+  Json Result = Json::object();
+  Result["satisfiable"] = SR.Satisfiable;
+  Json Assignments = Json::array();
+  for (const Assignment &A : SR.Assignments) {
+    Json Obj = Json::object();
+    for (VarId V = 0; V != P.numVariables(); ++V) {
+      Json Var = Json::object();
+      Var["regex"] = A.regexFor(V);
+      if (auto W = A.witness(V))
+        Var["witness"] = *W;
+      Obj[P.variableName(V)] = std::move(Var);
+    }
+    Assignments.push(std::move(Obj));
+  }
+  Result["assignments"] = std::move(Assignments);
+
+  Json SolverSection = Json::object();
+  for (const auto &[Name, Value] : SR.Stats.counters())
+    SolverSection[Name] = Value;
+  SolverSection["solve_seconds"] = SR.Stats.SolveSeconds;
+  Result["solver"] = std::move(SolverSection);
+  Result["decide"] = decideDelta(Before);
+  return makeResult(R.Id, std::move(Result));
+}
+
+Json SolverService::doDecide(const Request &R, CancellationToken &Token) {
+  const Json *Query = R.Params.find("query");
+  if (!Query || !Query->isString())
+    return makeError(R.Id, ErrorCode::InvalidParams,
+                     "\"query\" must be one of subset, "
+                     "empty-intersection, equivalent, empty");
+  const std::string &Q = Query->asString();
+  bool Binary = Q != "empty";
+  if (Q != "subset" && Q != "empty-intersection" && Q != "equivalent" &&
+      Q != "empty")
+    return makeError(R.Id, ErrorCode::InvalidParams,
+                     "unknown query \"" + Q + "\"");
+
+  auto LoadMachine = [&](const char *Name, Nfa &Out,
+                         Json &Err) -> bool {
+    const Json *Text = R.Params.find(Name);
+    if (!Text || !Text->isString()) {
+      Err = makeError(R.Id, ErrorCode::InvalidParams,
+                      std::string("\"") + Name +
+                          "\" must be a serialized NFA string");
+      return false;
+    }
+    NfaParseResult Parsed = parseNfa(Text->asString());
+    if (!Parsed.ok()) {
+      std::ostringstream Msg;
+      Msg << "\"" << Name << "\" parse error at line " << Parsed.ErrorLine
+          << ": " << Parsed.Error;
+      Err = makeError(R.Id, ErrorCode::InvalidParams, Msg.str());
+      return false;
+    }
+    if (Opts.MaxNfaStates && Parsed.Machine->numStates() > Opts.MaxNfaStates) {
+      std::ostringstream Msg;
+      Msg << "\"" << Name << "\" has " << Parsed.Machine->numStates()
+          << " states; the service limit is " << Opts.MaxNfaStates
+          << " (--max-states)";
+      Err = makeError(R.Id, ErrorCode::OversizedMachine, Msg.str());
+      return false;
+    }
+    Out = std::move(*Parsed.Machine);
+    return true;
+  };
+
+  Nfa Lhs, Rhs;
+  Json Err;
+  if (!LoadMachine("lhs", Lhs, Err))
+    return Err;
+  if (Binary && !LoadMachine("rhs", Rhs, Err))
+    return Err;
+
+  // The kernel queries are not internally cancellable; honor an already
+  // expired token instead of starting work it would ignore.
+  if (Token.cancelled())
+    return cancelError(R.Id, Token);
+
+  StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
+  bool Answer;
+  if (Q == "subset")
+    Answer = subsetOf(Lhs, Rhs);
+  else if (Q == "empty-intersection")
+    Answer = emptyIntersection(Lhs, Rhs);
+  else if (Q == "equivalent")
+    Answer = equivalentTo(Lhs, Rhs);
+  else
+    Answer = isEmpty(Lhs);
+
+  Json Result = Json::object();
+  Result["query"] = Q;
+  Result["answer"] = Answer;
+  Result["decide"] = decideDelta(Before);
+  return makeResult(R.Id, std::move(Result));
+}
+
+Json SolverService::doStats() const {
+  Json Out = Json::object();
+  Json Counters = Json::object();
+  for (const auto &[Name, Value] : StatsRegistry::global().snapshot())
+    Counters[Name] = Value;
+  Out["counters"] = std::move(Counters);
+  Json Cache = Json::object();
+  Cache["enabled"] = DecisionCache::global().enabled();
+  Cache["machines"] =
+      static_cast<uint64_t>(DecisionCache::global().numMachines());
+  Cache["answers"] =
+      static_cast<uint64_t>(DecisionCache::global().numAnswers());
+  Out["decision_cache"] = std::move(Cache);
+  Out["jobs"] = Opts.Jobs;
+  return Out;
+}
+
+int SolverService::serve(std::istream &In, std::ostream &Out) {
+  std::mutex OutMutex;
+  auto Respond = [&](const Json &Resp) {
+    std::lock_guard<std::mutex> Lock(OutMutex);
+    Out << Resp.dump(0) << "\n";
+    Out.flush();
+  };
+
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue; // Blank keep-alive lines are ignored.
+    RequestParse P = parseRequest(Line);
+    if (!P.ok()) {
+      // Malformed requests are answered inline — there is no job to
+      // schedule, and the reader thread must keep reading.
+      Respond(makeError(P.Id, P.Code, P.Message));
+      continue;
+    }
+    if (P.Req->Method == "shutdown") {
+      // Drain in-flight requests so every accepted request is answered,
+      // then acknowledge and stop reading.
+      Pool.waitIdle();
+      Respond(handleRequest(*P.Req));
+      break;
+    }
+    Pool.submit([this, Req = std::move(*P.Req), &Respond] {
+      Respond(handleRequest(Req));
+    });
+  }
+  Pool.waitIdle();
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- Service.h - Concurrent solving service -------------------*- C++ -*-==//
+///
+/// \file
+/// The request scheduler behind `dprle serve` (docs/SERVICE.md). A
+/// SolverService owns one ThreadPool; serve() reads NDJSON requests
+/// (Protocol.h) from a stream, submits each as a pool job, and writes one
+/// response line per request in *completion* order (ids correlate).
+///
+/// Methods:
+///   solve  — params {constraints, max_solutions?, deadline_ms?}: parse
+///            ConstraintParser text, run the RMA decision procedure at the
+///            service's job count, return verdict + assignments (regex +
+///            example witness per variable) + per-request stats.
+///   decide — params {query, lhs, rhs?, deadline_ms?}: one decision-kernel
+///            query (subset | empty-intersection | equivalent | empty)
+///            over machines in the Serialize.h format.
+///   ping, stats, shutdown — liveness, process-wide counters, drain+stop.
+///
+/// Graceful degradation: every request carries an optional deadline_ms
+/// (falling back to ServiceOptions::DefaultDeadlineMs). The scheduler arms
+/// a CancellationToken when the job starts; the solver polls it at its
+/// loop headers and unwinds, and the request is answered with a structured
+/// `timeout` (deadline) or `cancelled` (explicit cancel) error instead of
+/// wedging a worker.
+///
+/// Determinism: solving is bit-identical at any job count (see
+/// SolverOptions::Jobs); only response *order* and the approximate
+/// per-request `decide.*` deltas vary under concurrency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SERVICE_SERVICE_H
+#define DPRLE_SERVICE_SERVICE_H
+
+#include "service/Protocol.h"
+#include "service/ThreadPool.h"
+#include "support/Cancellation.h"
+
+#include <iosfwd>
+
+namespace dprle {
+namespace service {
+
+struct ServiceOptions {
+  /// Worker count of the pool; also SolverOptions::Jobs for every solve.
+  /// 1 = sequential requests, serial solver (the deterministic baseline).
+  unsigned Jobs = 1;
+  /// Deadline applied to requests that carry no deadline_ms param.
+  /// 0 = no default deadline.
+  uint64_t DefaultDeadlineMs = 0;
+  /// Reject decide operands with more states than this (structured
+  /// `oversized_machine` error). 0 = unlimited.
+  size_t MaxNfaStates = 1 << 20;
+};
+
+class SolverService {
+public:
+  explicit SolverService(const ServiceOptions &Opts);
+
+  /// The NDJSON loop: reads requests from \p In until EOF or a shutdown
+  /// request, answering on \p Out. Returns a process exit code (0).
+  int serve(std::istream &In, std::ostream &Out);
+
+  /// Parses and handles one request line synchronously (test entry
+  /// point). \p External, when given, is the request's cancellation
+  /// token — the caller may cancel it from another thread; the deadline
+  /// is armed on it.
+  Json handleLine(const std::string &Line,
+                  CancellationToken *External = nullptr);
+
+  /// Handles one parsed request synchronously.
+  Json handleRequest(const Request &R, CancellationToken *External = nullptr);
+
+  const ServiceOptions &options() const { return Opts; }
+
+private:
+  Json dispatch(const Request &R, CancellationToken &Token);
+  Json doSolve(const Request &R, CancellationToken &Token);
+  Json doDecide(const Request &R, CancellationToken &Token);
+  Json doStats() const;
+
+  ServiceOptions Opts;
+  ThreadPool Pool;
+};
+
+} // namespace service
+} // namespace dprle
+
+#endif // DPRLE_SERVICE_SERVICE_H

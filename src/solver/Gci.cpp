@@ -32,6 +32,43 @@ private:
                     const std::map<std::pair<NodeId, EpsilonMarker>,
                                    EpsilonInstance> &Choice) const;
 
+  /// One surviving marker (Root, Marker) and the instances to choose from.
+  struct ChoicePoint {
+    NodeId Root;
+    EpsilonMarker Marker;
+    std::vector<EpsilonInstance> Instances;
+  };
+
+  /// What evaluating one marker combination produced. Candidate is only
+  /// meaningful when Valid; Rejected distinguishes "failed semantic
+  /// verification" from "induced an empty language" for the stats.
+  struct ComboOutcome {
+    bool Valid = false;
+    bool Rejected = false;
+    std::map<NodeId, Nfa> Candidate;
+  };
+
+  /// The per-combination work: build the candidate from the chosen marker
+  /// instances, verify it, maximize it. Pure function of (this, Digits) —
+  /// reads Machine/Solution/FlatConstraints only — so combinations can be
+  /// evaluated on pool workers concurrently.
+  ComboOutcome evaluateCombination(const std::vector<ChoicePoint> &Choices,
+                                   const std::vector<size_t> &Digits,
+                                   const std::vector<NodeId> &Vars) const;
+
+  /// Dedups \p Candidate against the accepted solutions and appends it.
+  /// Returns true when MaxSolutions has been reached (stop enumerating).
+  /// Serial-only: called on the enumerating thread, in combination order.
+  bool acceptCandidate(std::map<NodeId, Nfa> &&Candidate,
+                       const std::vector<NodeId> &Vars);
+
+  void enumerateSerial(const std::vector<ChoicePoint> &Choices,
+                       const std::vector<NodeId> &Vars);
+  void enumerateParallel(const std::vector<ChoicePoint> &Choices,
+                         const std::vector<NodeId> &Vars, size_t Total);
+
+  bool cancelled() const { return Opts.Cancel && Opts.Cancel->cancelled(); }
+
   /// One flattened constraint of the group: the term sequence of a root's
   /// expression tree plus the conjunction of the root's RHS constants.
   struct FlatConstraint {
@@ -256,11 +293,6 @@ void GciRun::enumerateSolutions() {
   // Every accepting path of a root machine crosses each of its markers, so
   // an empty instance list implies an empty root language: the group has
   // no non-empty solutions at all.
-  struct ChoicePoint {
-    NodeId Root;
-    EpsilonMarker Marker;
-    std::vector<EpsilonInstance> Instances;
-  };
   std::vector<ChoicePoint> Choices;
   for (NodeId R : Roots) {
     if (isEmpty(Machine.at(R))) {
@@ -289,90 +321,130 @@ void GciRun::enumerateSolutions() {
     if (G.kind(N) == NodeKind::Variable)
       Vars.push_back(N);
 
+  // The combination space is the cross product of the choice points.
+  // Combination index -> odometer digits with digit 0 least significant,
+  // matching the serial odometer's advancement order, so the parallel path
+  // enumerates (and merges) in exactly the serial order.
+  size_t Total = 1;
+  bool Overflow = false;
+  for (const ChoicePoint &CP : Choices) {
+    if (CP.Instances.empty()) {
+      Total = 0;
+      break;
+    }
+    if (Total > SIZE_MAX / CP.Instances.size()) {
+      Overflow = true;
+      break;
+    }
+    Total *= CP.Instances.size();
+  }
+  if (Total == 0)
+    return; // A marker with no surviving instances: no solutions.
+
+  if (!Overflow && Opts.Exec && Opts.Jobs > 1 && Total > 1)
+    enumerateParallel(Choices, Vars, Total);
+  else
+    enumerateSerial(Choices, Vars);
+}
+
+GciRun::ComboOutcome
+GciRun::evaluateCombination(const std::vector<ChoicePoint> &Choices,
+                            const std::vector<size_t> &Digits,
+                            const std::vector<NodeId> &Vars) const {
+  ComboOutcome Out;
+  std::map<std::pair<NodeId, EpsilonMarker>, EpsilonInstance> Choice;
+  for (size_t I = 0; I != Choices.size(); ++I)
+    Choice[{Choices[I].Root, Choices[I].Marker}] =
+        Choices[I].Instances[Digits[I]];
+
+  // Build the candidate assignment; a variable influenced by several
+  // concatenations must satisfy all of them simultaneously, hence the
+  // intersection (paper: "ensure that [vb] satisfies both constraints").
+  std::map<NodeId, Nfa> Candidate;
+  for (NodeId V : Vars) {
+    const std::vector<Segment> &Segments = Solution.at(V);
+    assert(!Segments.empty() && "group variable with no tracking entry");
+    Nfa Lang = induceSegment(Segments.front(), Choice);
+    if (Segments.size() > 1) {
+      // A variable used in several concatenations takes the
+      // intersection of its induced sub-NFAs. Slices inherit
+      // guess-the-end nondeterminism from the concat construction, so
+      // intersecting many near-identical slices doubles the state
+      // space per step unless each factor is canonicalized first.
+      // Variable slices carry no markers (markers live on concat
+      // boundaries, outside the slice), so minimization is safe here.
+      Lang = minimized(Lang.withoutMarkers());
+      for (size_t I = 1; I != Segments.size() && !isEmpty(Lang); ++I) {
+        DPRLE_DEBUG_LOG("gci-combo", Os << G.name(V) << " entry " << I
+                                        << " lang states "
+                                        << Lang.numStates());
+        Nfa Slice = minimized(
+            induceSegment(Segments[I], Choice).withoutMarkers());
+        Lang = minimized(intersect(Lang, Slice));
+      }
+    }
+    if (isEmpty(Lang))
+      return Out;
+    Candidate[V] = Lang.withoutMarkers();
+  }
+
+  // Certify the candidate: every constraint must hold semantically with
+  // constants at their full languages. See GciResult's documentation of
+  // CombinationsRejectedByVerification for why this can fail.
+  for (const FlatConstraint &FC : FlatConstraints) {
+    Nfa Whole = Nfa::epsilonLanguage();
+    for (NodeId T : FC.Terms)
+      Whole = concat(Whole, termLanguage(T, Candidate));
+    // Whole ∩ ¬C = ∅  ⟺  Whole ⊆ C; the kernel's antichain subset
+    // check avoids materializing the product against the complement.
+    if (!subsetOf(Whole, FC.Constraint)) {
+      Out.Rejected = true;
+      return Out;
+    }
+  }
+
+  if (Opts.MaximizeSolutions)
+    maximizeCandidate(Candidate, Vars);
+
+  Out.Valid = true;
+  Out.Candidate = std::move(Candidate);
+  return Out;
+}
+
+bool GciRun::acceptCandidate(std::map<NodeId, Nfa> &&Candidate,
+                             const std::vector<NodeId> &Vars) {
+  if (Opts.DedupSolutions) {
+    for (const auto &Existing : Result.Solutions) {
+      bool Same = true;
+      for (NodeId V : Vars)
+        if (!equivalent(Existing.at(V), Candidate.at(V))) {
+          Same = false;
+          break;
+        }
+      if (Same)
+        return false;
+    }
+  }
+  ++Result.CombinationsAccepted;
+  Result.Solutions.push_back(std::move(Candidate));
+  return Result.Solutions.size() >= Opts.MaxSolutions;
+}
+
+void GciRun::enumerateSerial(const std::vector<ChoicePoint> &Choices,
+                             const std::vector<NodeId> &Vars) {
   // Odometer over all_combinations (Figure 8 line 15).
   std::vector<size_t> Odometer(Choices.size(), 0);
   while (true) {
+    if (cancelled()) {
+      Result.Cancelled = true;
+      return;
+    }
     ++Result.CombinationsTried;
-    std::map<std::pair<NodeId, EpsilonMarker>, EpsilonInstance> Choice;
-    for (size_t I = 0; I != Choices.size(); ++I)
-      Choice[{Choices[I].Root, Choices[I].Marker}] =
-          Choices[I].Instances[Odometer[I]];
-
-    // Build the candidate assignment; a variable influenced by several
-    // concatenations must satisfy all of them simultaneously, hence the
-    // intersection (paper: "ensure that [vb] satisfies both constraints").
-    std::map<NodeId, Nfa> Candidate;
-    bool Valid = true;
-    for (NodeId V : Vars) {
-      const std::vector<Segment> &Segments = Solution.at(V);
-      assert(!Segments.empty() && "group variable with no tracking entry");
-      Nfa Lang = induceSegment(Segments.front(), Choice);
-      if (Segments.size() > 1) {
-        // A variable used in several concatenations takes the
-        // intersection of its induced sub-NFAs. Slices inherit
-        // guess-the-end nondeterminism from the concat construction, so
-        // intersecting many near-identical slices doubles the state
-        // space per step unless each factor is canonicalized first.
-        // Variable slices carry no markers (markers live on concat
-        // boundaries, outside the slice), so minimization is safe here.
-        Lang = minimized(Lang.withoutMarkers());
-        for (size_t I = 1; I != Segments.size() && !isEmpty(Lang); ++I) {
-          DPRLE_DEBUG_LOG("gci-combo", Os << G.name(V) << " entry " << I
-                                          << " lang states "
-                                          << Lang.numStates());
-          Nfa Slice = minimized(
-              induceSegment(Segments[I], Choice).withoutMarkers());
-          Lang = minimized(intersect(Lang, Slice));
-        }
-      }
-      if (isEmpty(Lang)) {
-        Valid = false;
-        break;
-      }
-      Candidate[V] = Lang.withoutMarkers();
-    }
-
-    // Certify the candidate: every constraint must hold semantically with
-    // constants at their full languages. See GciResult's documentation of
-    // CombinationsRejectedByVerification for why this can fail.
-    if (Valid) {
-      for (const FlatConstraint &FC : FlatConstraints) {
-        Nfa Whole = Nfa::epsilonLanguage();
-        for (NodeId T : FC.Terms)
-          Whole = concat(Whole, termLanguage(T, Candidate));
-        // Whole ∩ ¬C = ∅  ⟺  Whole ⊆ C; the kernel's antichain subset
-        // check avoids materializing the product against the complement.
-        if (!subsetOf(Whole, FC.Constraint)) {
-          Valid = false;
-          ++Result.CombinationsRejectedByVerification;
-          break;
-        }
-      }
-    }
-
-    if (Valid && Opts.MaximizeSolutions)
-      maximizeCandidate(Candidate, Vars);
-
-    if (Valid && Opts.DedupSolutions) {
-      for (const auto &Existing : Result.Solutions) {
-        bool Same = true;
-        for (NodeId V : Vars)
-          if (!equivalent(Existing.at(V), Candidate.at(V))) {
-            Same = false;
-            break;
-          }
-        if (Same) {
-          Valid = false;
-          break;
-        }
-      }
-    }
-    if (Valid) {
-      ++Result.CombinationsAccepted;
-      Result.Solutions.push_back(std::move(Candidate));
-      if (Result.Solutions.size() >= Opts.MaxSolutions)
-        return;
-    }
+    ComboOutcome O = evaluateCombination(Choices, Odometer, Vars);
+    if (O.Rejected)
+      ++Result.CombinationsRejectedByVerification;
+    if (O.Valid && acceptCandidate(std::move(O.Candidate), Vars))
+      return;
 
     // Advance the odometer.
     size_t I = 0;
@@ -386,12 +458,59 @@ void GciRun::enumerateSolutions() {
   }
 }
 
+void GciRun::enumerateParallel(const std::vector<ChoicePoint> &Choices,
+                               const std::vector<NodeId> &Vars,
+                               size_t Total) {
+  // Waves of combinations are evaluated concurrently and merged in
+  // combination order, so dedup and the MaxSolutions cap see candidates in
+  // exactly the serial sequence — Solutions is bit-identical to a serial
+  // run. The wave size trades a little over-evaluation near MaxSolutions
+  // for keeping every worker busy.
+  const size_t Wave = size_t(Opts.Jobs) * 4;
+  std::vector<ComboOutcome> Outcomes;
+  for (size_t Base = 0; Base < Total; Base += Wave) {
+    if (cancelled()) {
+      Result.Cancelled = true;
+      return;
+    }
+    size_t Count = std::min(Wave, Total - Base);
+    Outcomes.assign(Count, ComboOutcome());
+    Opts.Exec->parallelFor(Count, [&](size_t I) {
+      if (cancelled())
+        return; // Skipped outcomes read as invalid; the run is unwinding.
+      std::vector<size_t> Digits(Choices.size());
+      size_t Rem = Base + I;
+      for (size_t D = 0; D != Choices.size(); ++D) {
+        Digits[D] = Rem % Choices[D].Instances.size();
+        Rem /= Choices[D].Instances.size();
+      }
+      Outcomes[I] = evaluateCombination(Choices, Digits, Vars);
+    });
+    if (cancelled()) {
+      Result.Cancelled = true;
+      return;
+    }
+    for (ComboOutcome &O : Outcomes) {
+      ++Result.CombinationsTried;
+      if (O.Rejected)
+        ++Result.CombinationsRejectedByVerification;
+      if (O.Valid && acceptCandidate(std::move(O.Candidate), Vars))
+        return;
+    }
+  }
+}
+
 GciResult GciRun::run() {
   DPRLE_TRACE_SPAN("gci");
   {
     DPRLE_TRACE_SPAN("process_nodes");
-    for (NodeId N : Group)
+    for (NodeId N : Group) {
+      if (cancelled()) {
+        Result.Cancelled = true;
+        return Result;
+      }
       processNode(N);
+    }
   }
   enumerateSolutions();
   return Result;

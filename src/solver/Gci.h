@@ -36,6 +36,8 @@
 
 #include "automata/Nfa.h"
 #include "solver/DependencyGraph.h"
+#include "support/Cancellation.h"
+#include "support/Executor.h"
 
 #include <map>
 #include <vector>
@@ -78,6 +80,24 @@ struct GciOptions {
   /// the joint constraint and reverted if it overshoots, so reported
   /// assignments are always *satisfying* but may be non-maximal.
   bool MaximizeSolutions = true;
+
+  /// \name Concurrency (the `--jobs N` path; see docs/SERVICE.md)
+  /// @{
+  /// Worker count for combination enumeration. With Jobs <= 1 or a null
+  /// Exec the run is strictly serial and bit-identical to the historical
+  /// code path. With Jobs > 1, marker combinations are evaluated in
+  /// parallel waves and their results merged *in combination order*, so
+  /// Solutions are identical to a serial run at any job count; only the
+  /// CombinationsTried/... counters may overshoot (a wave is evaluated
+  /// whole even when MaxSolutions is reached mid-wave).
+  unsigned Jobs = 1;
+  /// The executor running parallel waves; null means serial.
+  Executor *Exec = nullptr;
+  /// Optional cooperative cancellation, polled at the per-node and
+  /// per-combination loop headers. When it fires, the run unwinds with
+  /// GciResult::Cancelled set and a partial (possibly empty) solution set.
+  const CancellationToken *Cancel = nullptr;
+  /// @}
 };
 
 /// Output of one gci run.
@@ -85,6 +105,10 @@ struct GciResult {
   /// Disjunctive solutions; each maps every Variable node of the group to
   /// a non-empty language.
   std::vector<std::map<NodeId, Nfa>> Solutions;
+
+  /// True when GciOptions::Cancel fired mid-run; Solutions is then a
+  /// partial answer and must not be interpreted as "unsatisfiable".
+  bool Cancelled = false;
 
   /// \name Stats contributions (merged into SolverStats by the Solver)
   /// @{

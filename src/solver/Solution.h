@@ -52,6 +52,11 @@ private:
 /// disjunctive satisfying assignments.
 struct SolveResult {
   bool Satisfiable = false;
+  /// True when SolverOptions::Cancel fired mid-solve (explicit cancel or
+  /// deadline expiry). Satisfiable is then false *because the solve was
+  /// abandoned*, not because unsatisfiability was proven; clients (the
+  /// service front end) must report it as cancelled/timeout, not "no".
+  bool Cancelled = false;
   std::vector<Assignment> Assignments;
   SolverStats Stats;
 };

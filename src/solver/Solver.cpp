@@ -46,6 +46,11 @@ SolveResult Solver::solveImpl(const Problem &P,
         OpStats::global().totalStatesVisited() - StatesBefore;
     return Result;
   };
+  auto Cancelled = [&] { return Opts.Cancel && Opts.Cancel->cancelled(); };
+  auto FinishCancelled = [&]() -> SolveResult & {
+    Result.Cancelled = true;
+    return Finish(false);
+  };
 
   // --- Stage 2: reduce acyclic constraints (Figure 7 lines 3-8). ---------
   //
@@ -68,6 +73,8 @@ SolveResult Solver::solveImpl(const Problem &P,
     }
 
     for (VarId V = 0; V != P.numVariables(); ++V) {
+      if (Cancelled())
+        return FinishCancelled();
       NodeId N = G.nodeForVariable(V);
       if (G.inAnyConcat(N))
         continue;
@@ -107,11 +114,15 @@ SolveResult Solver::solveImpl(const Problem &P,
   GOpts.MinimizeIntermediates = Opts.MinimizeIntermediates;
   GOpts.DedupSolutions = Opts.DedupSolutions;
   GOpts.MaximizeSolutions = Opts.MaximizeSolutions;
+  GOpts.Jobs = Opts.Jobs;
+  GOpts.Exec = Opts.Exec;
+  GOpts.Cancel = Opts.Cancel;
 
-  std::vector<std::map<NodeId, Nfa>> Partials = {{}};
+  // The groups this solve actually runs (partial solving skips groups with
+  // no queried variable).
+  std::vector<const std::vector<NodeId> *> Selected;
   for (const std::vector<NodeId> &Group : Groups) {
     if (Of) {
-      // Partial solving: skip groups with no queried variable.
       bool Relevant = false;
       for (NodeId N : Group)
         Relevant = Relevant || (G.kind(N) == NodeKind::Variable &&
@@ -119,8 +130,32 @@ SolveResult Solver::solveImpl(const Problem &P,
       if (!Relevant)
         continue;
     }
+    Selected.push_back(&Group);
+  }
+
+  // With several jobs and several groups, solve the groups concurrently
+  // (they share no nodes) and merge their results below in group order —
+  // the worklist then combines the same per-group solution sets in the
+  // same order as a serial run, so the assignments are identical. The
+  // serial path keeps its early exit on the first empty group.
+  const bool ParallelGroups =
+      Opts.Exec && Opts.Jobs > 1 && Selected.size() > 1;
+  std::vector<GciResult> GroupResults(Selected.size());
+  if (ParallelGroups)
+    Opts.Exec->parallelFor(Selected.size(), [&](size_t I) {
+      GroupResults[I] = solveCiGroup(G, *Selected[I], GOpts);
+    });
+
+  std::vector<std::map<NodeId, Nfa>> Partials = {{}};
+  for (size_t GroupIdx = 0; GroupIdx != Selected.size(); ++GroupIdx) {
+    if (Cancelled())
+      return FinishCancelled();
     DPRLE_TRACE_SPAN("gci_group");
-    GciResult GR = solveCiGroup(G, Group, GOpts);
+    GciResult GR = ParallelGroups
+                       ? std::move(GroupResults[GroupIdx])
+                       : solveCiGroup(G, *Selected[GroupIdx], GOpts);
+    if (GR.Cancelled)
+      return FinishCancelled();
     Result.Stats.ConcatsBuilt += GR.ConcatsBuilt;
     Result.Stats.SubsetIntersections += GR.SubsetIntersections;
     Result.Stats.CombinationsTried += GR.CombinationsTried;

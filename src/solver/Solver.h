@@ -45,6 +45,24 @@ struct SolverOptions {
   /// dependency graph (see DependencyGraph::build). Disabling this is the
   /// paper-faithful prototype mode used by the Figure 12 benchmark.
   bool CanonicalizeConstants = true;
+
+  /// \name Concurrency (the `--jobs N` path; see docs/SERVICE.md)
+  /// @{
+  /// Worker count. With Jobs <= 1 or a null Exec the solve is strictly
+  /// serial and bit-identical to the historical code path. With Jobs > 1,
+  /// independent CI-groups are solved concurrently and each group's marker
+  /// combinations are enumerated in parallel waves (GciOptions); results
+  /// are merged in deterministic order, so assignments and verdicts are
+  /// identical at any job count. Stats counters may differ from the serial
+  /// run (e.g. groups after an unsatisfiable one still contribute).
+  unsigned Jobs = 1;
+  /// The executor running parallel work; null means serial.
+  Executor *Exec = nullptr;
+  /// Optional cooperative cancellation, polled at the solver's loop
+  /// headers and threaded into every gci run. When it fires, solve()
+  /// returns Satisfiable = false with SolveResult::Cancelled set.
+  const CancellationToken *Cancel = nullptr;
+  /// @}
 };
 
 /// The decision procedure. Stateless apart from options; reusable.

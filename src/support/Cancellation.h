@@ -1,0 +1,80 @@
+//===- Cancellation.h - Cooperative cancellation tokens ---------*- C++ -*-==//
+///
+/// \file
+/// A CancellationToken is the handshake between the service scheduler
+/// (src/service/) and the long-running decision-procedure loops: the
+/// scheduler arms a token with a deadline (or cancels it explicitly, e.g.
+/// on client disconnect) and threads it into SolverOptions/GciOptions; the
+/// solver polls `cancelled()` at its loop headers and unwinds with a
+/// structured `Cancelled` result instead of wedging a pool worker.
+///
+/// Polling is cheap: with no deadline armed, `cancelled()` is one relaxed
+/// atomic load; with a deadline it adds one steady_clock read, which the
+/// solver only pays once per CI-group node / marker combination — sites
+/// whose own work dwarfs a clock read.
+///
+/// Cancellation is *cooperative and sticky*: once `cancelled()` has
+/// returned true it returns true forever (deadlines never un-expire, and
+/// cancel() is one-way), so callers may cache the verdict for the rest of
+/// a solve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_CANCELLATION_H
+#define DPRLE_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace dprle {
+
+class CancellationToken {
+public:
+  /// Requests cancellation. Thread-safe; irrevocable.
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute deadline; the token reads as cancelled from that
+  /// point on. Thread-safe. A deadline at-or-before now() expires
+  /// immediately (deadline_ms = 0 requests are the degenerate case the
+  /// service tests use for deterministic timeouts).
+  void setDeadline(std::chrono::steady_clock::time_point When) {
+    DeadlineNs.store(When.time_since_epoch().count(),
+                     std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline \p Ms milliseconds from now.
+  void setDeadlineAfterMs(uint64_t Ms) {
+    setDeadline(std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(Ms));
+  }
+
+  /// True when cancel() was called or the armed deadline has passed.
+  bool cancelled() const {
+    if (Flag.load(std::memory_order_relaxed))
+      return true;
+    int64_t Deadline = DeadlineNs.load(std::memory_order_relaxed);
+    if (Deadline == NoDeadline)
+      return false;
+    return std::chrono::steady_clock::now().time_since_epoch().count() >=
+           Deadline;
+  }
+
+  /// True when the token is cancelled *because of* an expired deadline
+  /// (so the service can report "timeout" rather than "cancelled").
+  bool deadlineExpired() const {
+    int64_t Deadline = DeadlineNs.load(std::memory_order_relaxed);
+    return Deadline != NoDeadline &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >=
+               Deadline;
+  }
+
+private:
+  static constexpr int64_t NoDeadline = INT64_MAX;
+  std::atomic<bool> Flag{false};
+  std::atomic<int64_t> DeadlineNs{NoDeadline};
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_CANCELLATION_H

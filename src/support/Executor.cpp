@@ -1,0 +1,11 @@
+//===- Executor.cpp - Parallel execution abstraction -------------------------//
+
+#include "support/Executor.h"
+
+namespace dprle {
+namespace parallel_detail {
+
+std::atomic<int> ActiveRegions{0};
+
+} // namespace parallel_detail
+} // namespace dprle

@@ -1,8 +1,10 @@
 //===- Stats.cpp - Unified named-counter registry ----------------------------//
 
 #include "support/Stats.h"
+#include "support/Executor.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace dprle;
 
@@ -12,7 +14,14 @@ StatsRegistry &StatsRegistry::global() {
 }
 
 void StatsRegistry::registerCounter(std::string Name,
-                                    const uint64_t *Storage) {
+                                    const RelaxedCounter *Storage) {
+  // Registration happens at static-init / single-threaded setup time.
+  // Doing it while a worker pool is mid-flight would race every concurrent
+  // snapshot(); the mutex below makes the race benign, but a call site
+  // that hits this assert is still a design bug worth catching loudly.
+  assert(!parallelRegionActive() &&
+         "StatsRegistry::registerCounter during a parallel region");
+  std::lock_guard<std::mutex> Lock(Mutex);
   for (Entry &E : Entries) {
     if (E.Name == Name) {
       E.Storage = Storage;
@@ -23,10 +32,11 @@ void StatsRegistry::registerCounter(std::string Name,
 }
 
 StatsRegistry::Snapshot StatsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Snapshot Out;
   Out.reserve(Entries.size());
   for (const Entry &E : Entries)
-    Out.emplace_back(E.Name, *E.Storage);
+    Out.emplace_back(E.Name, E.Storage->get());
   return Out;
 }
 

@@ -13,6 +13,12 @@
 /// e.g. "automata.product_states_visited". The full list and its stability
 /// guarantees are documented in docs/OBSERVABILITY.md.
 ///
+/// Registered storage is a RelaxedCounter — a relaxed std::atomic<uint64_t>
+/// with counter syntax — because the solver service (src/service/) bumps
+/// these counters from pool worker threads. Relaxed ordering is enough:
+/// counters are statistics, never synchronization, and readers accept
+/// momentarily torn *aggregates* (each individual counter is still exact).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DPRLE_SUPPORT_STATS_H
@@ -20,12 +26,49 @@
 
 #include "support/Json.h"
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace dprle {
+
+/// A uint64 statistics counter safe to bump from any number of threads
+/// concurrently. Drop-in for the plain uint64_t fields the counter structs
+/// historically used: ++, +=, assignment and implicit conversion all work.
+/// All operations use relaxed memory order — these are tallies, not locks.
+class RelaxedCounter {
+public:
+  constexpr RelaxedCounter(uint64_t Initial = 0) : Value(Initial) {}
+  RelaxedCounter(const RelaxedCounter &Other) : Value(Other.get()) {}
+  RelaxedCounter &operator=(const RelaxedCounter &Other) {
+    set(Other.get());
+    return *this;
+  }
+  RelaxedCounter &operator=(uint64_t V) {
+    set(V);
+    return *this;
+  }
+
+  RelaxedCounter &operator++() {
+    Value.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  void operator++(int) { Value.fetch_add(1, std::memory_order_relaxed); }
+  RelaxedCounter &operator+=(uint64_t Delta) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t get() const { return Value.load(std::memory_order_relaxed); }
+  void set(uint64_t V) { Value.store(V, std::memory_order_relaxed); }
+  operator uint64_t() const { return get(); }
+
+private:
+  std::atomic<uint64_t> Value;
+};
 
 class StatsRegistry {
 public:
@@ -35,10 +78,14 @@ public:
   /// Registers \p Storage under \p Name. The storage must outlive the
   /// registry (in practice: counters live in function-local statics or
   /// globals). Re-registering a name replaces the pointer, so re-entrant
-  /// static initialization stays safe.
-  void registerCounter(std::string Name, const uint64_t *Storage);
+  /// static initialization stays safe. Thread-safe, but asserts that no
+  /// parallel region (support/Executor.h) is active: registration is a
+  /// load-time affair and must never race a running worker pool.
+  void registerCounter(std::string Name, const RelaxedCounter *Storage);
 
   /// Captures every registered counter, in registration order.
+  /// Thread-safe; counters bumped concurrently land in this snapshot or
+  /// the next, never tear.
   Snapshot snapshot() const;
 
   /// Per-counter difference After - Before, matched by name. Counters
@@ -55,8 +102,9 @@ public:
 private:
   struct Entry {
     std::string Name;
-    const uint64_t *Storage;
+    const RelaxedCounter *Storage;
   };
+  mutable std::mutex Mutex;
   std::vector<Entry> Entries;
 };
 

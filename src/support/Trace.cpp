@@ -6,7 +6,7 @@
 
 using namespace dprle;
 
-bool dprle::trace_detail::Enabled = false;
+std::atomic<bool> dprle::trace_detail::Enabled{false};
 
 namespace {
 
@@ -29,12 +29,20 @@ void TraceCollector::start() {
   Stack.clear();
   Dropped = 0;
   EpochSeconds = nowSeconds();
-  trace_detail::Enabled = true;
+  Owner.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  trace_detail::Enabled.store(true, std::memory_order_release);
 }
 
-void TraceCollector::stop() { trace_detail::Enabled = false; }
+void TraceCollector::stop() {
+  trace_detail::Enabled.store(false, std::memory_order_release);
+}
 
 size_t TraceCollector::openSpan(const char *Name) {
+  // Spans from pool workers are dropped, not recorded: the arena and the
+  // open-span stack belong to the arming thread (see the file comment in
+  // Trace.h).
+  if (std::this_thread::get_id() != Owner.load(std::memory_order_relaxed))
+    return SIZE_MAX;
   if (Arena.size() >= MaxSpans) {
     ++Dropped;
     return SIZE_MAX;

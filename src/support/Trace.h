@@ -21,10 +21,14 @@
 /// active. Timing benchmarks (the tier-1 claims) therefore see zero
 /// overhead with tracing off.
 ///
-/// The collector is single-threaded, matching the solver. Spans beyond
-/// the configured cap are counted but not recorded, so pathological runs
-/// degrade to a truncated trace instead of unbounded memory growth.
-/// The emitted JSON schema is documented in docs/OBSERVABILITY.md.
+/// The collector arena is owned by the thread that called start(): spans
+/// opened on other threads (pool workers of the solver service) are
+/// silently ignored, so a traced solve remains a coherent single tree of
+/// the submitting thread's phases and the armed/disarmed flag can be read
+/// from any thread without racing. Spans beyond the configured cap are
+/// counted but not recorded, so pathological runs degrade to a truncated
+/// trace instead of unbounded memory growth. The emitted JSON schema is
+/// documented in docs/OBSERVABILITY.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,16 +37,20 @@
 
 #include "support/Json.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dprle {
 
 namespace trace_detail {
-/// The enabled flag, a plain global read by every DPRLE_TRACE_SPAN site.
-/// Mutated only through TraceCollector::start()/stop().
-extern bool Enabled;
+/// The enabled flag, read by every DPRLE_TRACE_SPAN site — from worker
+/// threads too, hence atomic. Mutated only through
+/// TraceCollector::start()/stop(); release ordering there publishes the
+/// collector's owner-thread id to spans that observe the flag as set.
+extern std::atomic<bool> Enabled;
 } // namespace trace_detail
 
 /// Collects one trace: a forest of timed spans. Use through
@@ -56,7 +64,9 @@ public:
   /// Disables collection; collected spans stay available for toJson().
   void stop();
 
-  bool active() const { return trace_detail::Enabled; }
+  bool active() const {
+    return trace_detail::Enabled.load(std::memory_order_relaxed);
+  }
 
   /// Number of recorded (non-dropped) spans.
   size_t numSpans() const { return Arena.size(); }
@@ -94,7 +104,8 @@ private:
     std::vector<size_t> Children; ///< Arena indices.
   };
 
-  /// Returns the arena index, or SIZE_MAX when the cap is hit.
+  /// Returns the arena index, or SIZE_MAX when the cap is hit or the
+  /// caller is not the thread that armed the collector.
   size_t openSpan(const char *Name);
   void closeSpan(size_t Index);
 
@@ -107,6 +118,8 @@ private:
   uint64_t Dropped = 0;
   double EpochSeconds = 0.0; ///< steady_clock at start(), in seconds.
   StatesProbeFn Probe = nullptr;
+  /// Thread that called start(); only its spans are recorded.
+  std::atomic<std::thread::id> Owner;
 };
 
 /// RAII span. Prefer the DPRLE_TRACE_SPAN macro; construct directly only
@@ -114,7 +127,7 @@ private:
 class TraceSpan {
 public:
   explicit TraceSpan(const char *Name) {
-    if (trace_detail::Enabled)
+    if (trace_detail::Enabled.load(std::memory_order_acquire))
       Index = TraceCollector::global().openSpan(Name);
   }
   ~TraceSpan() {

@@ -1,0 +1,467 @@
+//===- ServiceTest.cpp - Solving-service tests --------------------------------//
+//
+// Covers the three layers of src/service/ (docs/SERVICE.md):
+//   * ThreadPool — index coverage, nesting, submit/waitIdle;
+//   * Protocol — request parsing and the structured error codes;
+//   * SolverService — solve/decide semantics, determinism at any job
+//     count, deadlines/cancellation, malformed-request robustness, and
+//     the NDJSON serve loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "automata/Decide.h"
+#include "automata/Serialize.h"
+#include "regex/RegexCompiler.h"
+#include "regex/RegexParser.h"
+#include "service/Protocol.h"
+#include "service/ThreadPool.h"
+#include "support/Cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dprle;
+using namespace dprle::service;
+
+namespace {
+
+Nfa machineFor(const std::string &Pattern) {
+  RegexParseResult R = parseRegexExtended(Pattern);
+  EXPECT_TRUE(R.ok()) << Pattern;
+  return compileRegex(*R.Ast);
+}
+
+/// Builds a solve request line.
+std::string solveLine(const Json &Id, const std::string &Constraints) {
+  Json Req = Json::object();
+  Req["id"] = Id;
+  Req["method"] = "solve";
+  Json Params = Json::object();
+  Params["constraints"] = Constraints;
+  Req["params"] = std::move(Params);
+  return Req.dump(0);
+}
+
+const Json *resultOf(const Json &Resp) {
+  const Json *Ok = Resp.find("ok");
+  EXPECT_TRUE(Ok && Ok->isBool() && Ok->asBool()) << Resp.dump(0);
+  return Resp.find("result");
+}
+
+std::string errorCodeOf(const Json &Resp) {
+  const Json *Ok = Resp.find("ok");
+  EXPECT_TRUE(Ok && Ok->isBool() && !Ok->asBool()) << Resp.dump(0);
+  const Json *Error = Resp.find("error");
+  EXPECT_NE(Error, nullptr);
+  const Json *Code = Error ? Error->find("code") : nullptr;
+  return Code ? Code->asString() : "<missing>";
+}
+
+/// A multi-group, multi-solution instance: exercises both the parallel
+/// CI-group stage and the parallel combination enumeration.
+const char *DisjunctiveInstance =
+    "var v1; var v2; v1 . v2 <= /xyyz|xyz/;"
+    "var u; var w; u . w <= /ab|ba/;";
+
+/// An instance whose full enumeration takes seconds (1771 assignments):
+/// the cancellation target.
+std::string slowInstance() {
+  std::string Out = "var a; var b; var c; var d;\na . b . c . d <= /";
+  for (int I = 0; I != 20; ++I)
+    Out += "(x|y)";
+  return Out + "/;";
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool Pool(2);
+  std::atomic<int> Total{0};
+  // Outer width exceeds the worker count, so inner calls necessarily run
+  // on busy workers: only caller participation avoids deadlock here.
+  Pool.parallelFor(8, [&](size_t) {
+    Pool.parallelFor(8, [&](size_t) { Total.fetch_add(1); });
+  });
+  EXPECT_EQ(Total.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRunsJobsAndWaitIdleBarriers) {
+  ThreadPool Pool(3);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 20; ++I)
+    Pool.submit([&] { Ran.fetch_add(1); });
+  Pool.waitIdle();
+  EXPECT_EQ(Ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, MarksParallelRegions) {
+  ThreadPool Pool(2);
+  EXPECT_FALSE(parallelRegionActive());
+  std::atomic<bool> SeenActive{false};
+  Pool.parallelFor(4, [&](size_t) {
+    if (parallelRegionActive())
+      SeenActive.store(true);
+  });
+  EXPECT_TRUE(SeenActive.load());
+  Pool.waitIdle();
+  EXPECT_FALSE(parallelRegionActive());
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, ParsesWellFormedRequest) {
+  RequestParse P = parseRequest(
+      "{\"id\": 7, \"method\": \"ping\", \"params\": {\"x\": 1}}");
+  ASSERT_TRUE(P.ok());
+  EXPECT_EQ(P.Req->Method, "ping");
+  EXPECT_EQ(P.Req->Id.asUnsigned(), 7u);
+  EXPECT_TRUE(P.Req->Params.isObject());
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_EQ(parseRequest("not json").Code, ErrorCode::ParseError);
+  EXPECT_EQ(parseRequest("[1, 2]").Code, ErrorCode::InvalidRequest);
+  EXPECT_EQ(parseRequest("{\"id\": 1}").Code, ErrorCode::InvalidRequest);
+  EXPECT_EQ(parseRequest("{\"method\": \"ping\"}").Code,
+            ErrorCode::InvalidRequest);
+  EXPECT_EQ(parseRequest("{\"id\": true, \"method\": \"ping\"}").Code,
+            ErrorCode::InvalidRequest);
+  EXPECT_EQ(
+      parseRequest("{\"id\": 1, \"method\": \"ping\", \"params\": 3}").Code,
+      ErrorCode::InvalidParams);
+}
+
+TEST(ProtocolTest, RecoversIdFromMalformedRequest) {
+  RequestParse P = parseRequest("{\"id\": \"r1\", \"params\": {}}");
+  EXPECT_FALSE(P.ok());
+  EXPECT_EQ(P.Id.asString(), "r1");
+}
+
+//===----------------------------------------------------------------------===//
+// SolverService: request semantics
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, PingAndUnknownMethod) {
+  SolverService Service(ServiceOptions{});
+  Json Pong = Service.handleLine("{\"id\": 1, \"method\": \"ping\"}");
+  const Json *Result = resultOf(Pong);
+  ASSERT_NE(Result, nullptr);
+  EXPECT_TRUE(Result->find("pong")->asBool());
+
+  Json Unknown = Service.handleLine("{\"id\": 2, \"method\": \"frobnicate\"}");
+  EXPECT_EQ(errorCodeOf(Unknown), "unknown_method");
+}
+
+TEST(ServiceTest, SolveAnswersWithAssignmentAndStats) {
+  SolverService Service(ServiceOptions{});
+  Json Resp = Service.handleLine(solveLine(
+      1, "var v1; v1 <= /ab*/; \"x\" . v1 <= /xab*/;"));
+  const Json *Result = resultOf(Resp);
+  ASSERT_NE(Result, nullptr);
+  EXPECT_TRUE(Result->find("satisfiable")->asBool());
+  ASSERT_EQ(Result->find("assignments")->size(), 1u);
+  const Json &V1 = *Result->find("assignments")->at(0).find("v1");
+  Nfa Lang = machineFor(V1.find("regex")->asString());
+  EXPECT_TRUE(Lang.accepts(V1.find("witness")->asString()));
+  // Per-request stats ride along.
+  EXPECT_NE(Result->find("solver"), nullptr);
+  ASSERT_NE(Result->find("decide"), nullptr);
+  EXPECT_NE(Result->find("decide")->find("subset_queries"), nullptr);
+}
+
+TEST(ServiceTest, SolveReportsUnsat) {
+  SolverService Service(ServiceOptions{});
+  Json Resp = Service.handleLine(solveLine(1, "var v; v <= /a/; v <= /b/;"));
+  const Json *Result = resultOf(Resp);
+  ASSERT_NE(Result, nullptr);
+  EXPECT_FALSE(Result->find("satisfiable")->asBool());
+  EXPECT_EQ(Result->find("assignments")->size(), 0u);
+}
+
+TEST(ServiceTest, MalformedSolveRequestsGetStructuredErrors) {
+  SolverService Service(ServiceOptions{});
+  EXPECT_EQ(errorCodeOf(Service.handleLine("{bad")), "parse_error");
+  EXPECT_EQ(errorCodeOf(Service.handleLine(
+                "{\"id\": 1, \"method\": \"solve\"}")),
+            "invalid_params");
+  EXPECT_EQ(errorCodeOf(Service.handleLine(
+                "{\"id\": 1, \"method\": \"solve\", \"params\": "
+                "{\"constraints\": 9}}")),
+            "invalid_params");
+  // Syntactically broken constraint text.
+  EXPECT_EQ(errorCodeOf(Service.handleLine(solveLine(1, "var ; <= xx"))),
+            "invalid_params");
+  // Ill-typed optional params.
+  EXPECT_EQ(errorCodeOf(Service.handleLine(
+                "{\"id\": 1, \"method\": \"solve\", \"params\": "
+                "{\"constraints\": \"var v;\", \"deadline_ms\": \"soon\"}}")),
+            "invalid_params");
+}
+
+//===----------------------------------------------------------------------===//
+// SolverService: determinism across job counts
+//===----------------------------------------------------------------------===//
+
+/// Renders the verdict-relevant part of a solve response (assignments in
+/// order, regex + witness per variable) for equality comparison.
+std::string verdictKey(const Json &Resp) {
+  const Json *Result = Resp.find("result");
+  if (!Result)
+    return "error:" + Resp.dump(0);
+  Json Key = Json::object();
+  Key["satisfiable"] = *Result->find("satisfiable");
+  Key["assignments"] = *Result->find("assignments");
+  return Key.dump(0);
+}
+
+TEST(ServiceTest, SolveIsDeterministicAtAnyJobCount) {
+  ServiceOptions Serial;
+  Serial.Jobs = 1;
+  SolverService Reference(Serial);
+  Json Expected = Reference.handleLine(solveLine(1, DisjunctiveInstance));
+
+  for (unsigned Jobs : {2u, 4u}) {
+    ServiceOptions Opts;
+    Opts.Jobs = Jobs;
+    SolverService Service(Opts);
+    Json Got = Service.handleLine(solveLine(1, DisjunctiveInstance));
+    EXPECT_EQ(verdictKey(Got), verdictKey(Expected)) << "jobs=" << Jobs;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SolverService: deadlines and cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ZeroDeadlineReportsTimeoutDeterministically) {
+  SolverService Service(ServiceOptions{});
+  Json Resp = Service.handleLine(
+      "{\"id\": 1, \"method\": \"solve\", \"params\": {\"constraints\": "
+      "\"var v; v <= /a*/;\", \"deadline_ms\": 0}}");
+  EXPECT_EQ(errorCodeOf(Resp), "timeout");
+}
+
+TEST(ServiceTest, DefaultDeadlineAppliesWhenRequestCarriesNone) {
+  ServiceOptions Opts;
+  Opts.DefaultDeadlineMs = 0; // No default: runs to completion.
+  SolverService NoDeadline(Opts);
+  EXPECT_NE(resultOf(NoDeadline.handleLine(
+                solveLine(1, "var v; v <= /a/;"))),
+            nullptr);
+
+  // An unreachable default deadline also completes (arming works without
+  // firing).
+  Opts.DefaultDeadlineMs = 1000 * 60 * 60;
+  SolverService LongDeadline(Opts);
+  EXPECT_NE(resultOf(LongDeadline.handleLine(
+                solveLine(1, "var v; v <= /a/;"))),
+            nullptr);
+}
+
+TEST(ServiceTest, PreCancelledTokenReportsCancelled) {
+  SolverService Service(ServiceOptions{});
+  CancellationToken Token;
+  Token.cancel();
+  Json Resp =
+      Service.handleLine(solveLine(1, "var v; v <= /a*/;"), &Token);
+  EXPECT_EQ(errorCodeOf(Resp), "cancelled");
+}
+
+TEST(ServiceTest, CancellationUnwindsMidSolve) {
+  // The full enumeration of slowInstance() takes seconds; cancelling
+  // ~30ms in must unwind the solver long before that. The generous bound
+  // below only guards against a wedged worker, not timing precision.
+  SolverService Service(ServiceOptions{});
+  CancellationToken Token;
+  std::thread Canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Token.cancel();
+  });
+  auto Start = std::chrono::steady_clock::now();
+  Json Resp = Service.handleLine(solveLine(1, slowInstance()), &Token);
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  Canceller.join();
+  EXPECT_EQ(errorCodeOf(Resp), "cancelled");
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(Elapsed).count(),
+            30);
+}
+
+TEST(ServiceTest, DeadlineExpiryMidSolveReportsTimeout) {
+  SolverService Service(ServiceOptions{});
+  Json Resp = Service.handleLine(
+      "{\"id\": 1, \"method\": \"solve\", \"params\": {\"constraints\": \"" +
+      slowInstance() + "\", \"deadline_ms\": 30}}");
+  EXPECT_EQ(errorCodeOf(Resp), "timeout");
+}
+
+//===----------------------------------------------------------------------===//
+// SolverService: decide
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, DecideMatchesTheKernel) {
+  SolverService Service(ServiceOptions{});
+  Nfa A = machineFor("ab*");
+  Nfa B = machineFor("a(b|c)*");
+  struct Case {
+    const char *Query;
+    bool NeedsRhs;
+    bool Expected;
+  } Cases[] = {
+      {"subset", true, subsetOf(A, B)},
+      {"empty-intersection", true, emptyIntersection(A, B)},
+      {"equivalent", true, equivalentTo(A, B)},
+      {"empty", false, isEmpty(A)},
+  };
+  for (const Case &C : Cases) {
+    Json Req = Json::object();
+    Req["id"] = C.Query;
+    Req["method"] = "decide";
+    Json Params = Json::object();
+    Params["query"] = C.Query;
+    Params["lhs"] = serializeNfa(A);
+    if (C.NeedsRhs)
+      Params["rhs"] = serializeNfa(B);
+    Req["params"] = std::move(Params);
+    Json Resp = Service.handleLine(Req.dump(0));
+    const Json *Result = resultOf(Resp);
+    ASSERT_NE(Result, nullptr) << C.Query;
+    EXPECT_EQ(Result->find("answer")->asBool(), C.Expected) << C.Query;
+  }
+}
+
+TEST(ServiceTest, DecideRejectsOversizedMachines) {
+  ServiceOptions Opts;
+  Opts.MaxNfaStates = 3;
+  SolverService Service(Opts);
+  Json Req = Json::object();
+  Req["id"] = 1;
+  Req["method"] = "decide";
+  Json Params = Json::object();
+  Params["query"] = "empty";
+  Params["lhs"] = serializeNfa(machineFor("abcdefgh")); // > 3 states.
+  Req["params"] = std::move(Params);
+  EXPECT_EQ(errorCodeOf(Service.handleLine(Req.dump(0))),
+            "oversized_machine");
+}
+
+TEST(ServiceTest, DecideRejectsBadParams) {
+  SolverService Service(ServiceOptions{});
+  EXPECT_EQ(errorCodeOf(Service.handleLine(
+                "{\"id\": 1, \"method\": \"decide\", \"params\": "
+                "{\"query\": \"frob\"}}")),
+            "invalid_params");
+  // Binary query without rhs.
+  Json Req = Json::object();
+  Req["id"] = 2;
+  Req["method"] = "decide";
+  Json Params = Json::object();
+  Params["query"] = "subset";
+  Params["lhs"] = serializeNfa(machineFor("a"));
+  Req["params"] = std::move(Params);
+  EXPECT_EQ(errorCodeOf(Service.handleLine(Req.dump(0))), "invalid_params");
+  // Unparseable machine text.
+  EXPECT_EQ(errorCodeOf(Service.handleLine(
+                "{\"id\": 3, \"method\": \"decide\", \"params\": "
+                "{\"query\": \"empty\", \"lhs\": \"gibberish\"}}")),
+            "invalid_params");
+}
+
+//===----------------------------------------------------------------------===//
+// SolverService: the NDJSON serve loop
+//===----------------------------------------------------------------------===//
+
+/// Splits NDJSON output into parsed response objects.
+std::vector<Json> responsesOf(const std::string &Output) {
+  std::vector<Json> Out;
+  std::istringstream In(Output);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::optional<Json> Doc = Json::parse(Line);
+    EXPECT_TRUE(Doc.has_value()) << Line;
+    if (Doc)
+      Out.push_back(std::move(*Doc));
+  }
+  return Out;
+}
+
+TEST(ServiceTest, ServeAnswersEveryLineAndStopsOnShutdown) {
+  std::istringstream In(
+      "{\"id\": 1, \"method\": \"ping\"}\n"
+      "\n" // Blank keep-alive: ignored, no response.
+      "not json\n" +
+      solveLine("s1", "var v; v <= /ab/;") +
+      "\n"
+      "{\"id\": 9, \"method\": \"shutdown\"}\n" +
+      solveLine("after", "var v; v <= /a/;") + "\n");
+  std::ostringstream Out;
+  SolverService Service(ServiceOptions{});
+  EXPECT_EQ(Service.serve(In, Out), 0);
+
+  std::vector<Json> Responses = responsesOf(Out.str());
+  // Everything before shutdown is answered; the request after it is not.
+  ASSERT_EQ(Responses.size(), 4u);
+  EXPECT_EQ(Responses.back().find("result")->find("shutting_down")->asBool(),
+            true);
+  bool SawParseError = false;
+  for (const Json &R : Responses)
+    if (!R.find("ok")->asBool())
+      SawParseError = errorCodeOf(R) == "parse_error" || SawParseError;
+  EXPECT_TRUE(SawParseError);
+}
+
+TEST(ServiceTest, ConcurrentServeMatchesSerialVerdicts) {
+  // The same request batch through a serial and a 4-job service must
+  // produce identical per-id verdicts (responses may reorder).
+  std::vector<std::string> Instances = {
+      "var v1; var v2; v1 . v2 <= /xyyz|xyz/;",
+      "var v; v <= /a/; v <= /b/;",
+      "var v; v <= /ab*c/; \"a\" . v <= /aab*c/;",
+      DisjunctiveInstance,
+      "var a; var b; a . b <= /(p|q)(p|q)(p|q)/;",
+  };
+  auto RunBatch = [&](unsigned Jobs) {
+    std::string Input;
+    for (size_t I = 0; I != Instances.size(); ++I)
+      Input += solveLine("req-" + std::to_string(I), Instances[I]) + "\n";
+    std::istringstream In(Input);
+    std::ostringstream Out;
+    ServiceOptions Opts;
+    Opts.Jobs = Jobs;
+    SolverService Service(Opts);
+    EXPECT_EQ(Service.serve(In, Out), 0);
+    std::map<std::string, std::string> ById;
+    for (const Json &R : responsesOf(Out.str()))
+      ById[R.find("id")->asString()] = verdictKey(R);
+    return ById;
+  };
+  auto Serial = RunBatch(1);
+  auto Concurrent = RunBatch(4);
+  ASSERT_EQ(Serial.size(), Instances.size());
+  EXPECT_EQ(Serial, Concurrent);
+}
+
+} // namespace

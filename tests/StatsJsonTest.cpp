@@ -115,7 +115,7 @@ TEST(JsonTest, ParsesNestedDocument) {
 
 TEST(StatsRegistryTest, SnapshotAndDelta) {
   StatsRegistry Registry;
-  uint64_t A = 10, B = 100;
+  RelaxedCounter A = 10, B = 100;
   Registry.registerCounter("test.a", &A);
   Registry.registerCounter("test.b", &B);
 

@@ -17,6 +17,8 @@
 #include "regex/NfaToRegex.h"
 #include "regex/RegexCompiler.h"
 #include "regex/RegexParser.h"
+#include "service/Service.h"
+#include "service/ThreadPool.h"
 #include "solver/ConstraintParser.h"
 #include "solver/Solver.h"
 #include "support/Json.h"
@@ -26,6 +28,7 @@
 #include <filesystem>
 #include <fstream>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -203,11 +206,25 @@ Json decideSection(const StatsRegistry::Snapshot &Before,
   return Out;
 }
 
+/// Parses a `--name=N` unsigned option value; returns false (and reports)
+/// on a malformed number.
+bool parseUnsignedOption(const std::string &Arg, const char *Prefix,
+                         uint64_t &Out, std::ostream &Err) {
+  std::string Value = Arg.substr(std::string(Prefix).size());
+  if (Value.empty() || Value.find_first_not_of("0123456789") !=
+                           std::string::npos) {
+    Err << "error: " << Prefix << " requires a non-negative integer\n";
+    return false;
+  }
+  Out = std::stoull(Value);
+  return true;
+}
+
 void printUsage(std::ostream &Err) {
   Err << "usage:\n"
-      << "  dprle solve [--first] [--no-decision-cache] "
-         "[--stats=<file.json>]\n"
-      << "              [--trace=<file.json>] <file.rma | ->\n"
+      << "  dprle solve [--first] [--jobs=N] [--no-decision-cache]\n"
+      << "              [--stats=<file.json>] [--trace=<file.json>] "
+         "<file.rma | ->\n"
       << "  dprle analyze [--attack=sql|xss] [--all] [--no-taint-prune]\n"
       << "                [--no-decision-cache] [--stats=<file.json>]\n"
       << "                [--trace=<file.json>] <file.php | ->\n"
@@ -220,7 +237,10 @@ void printUsage(std::ostream &Err) {
       << "          accepts\n"
       << "     machines: /regex/ (extended dialect) or serialized .nfa "
          "file\n"
-      << "  dprle corpus <output-directory>\n";
+      << "  dprle corpus <output-directory>\n"
+      << "  dprle serve [--jobs=N] [--deadline-ms=D] [--max-states=N]\n"
+      << "     NDJSON requests on stdin, one response line each; see\n"
+      << "     docs/SERVICE.md for the protocol\n";
 }
 
 } // namespace
@@ -231,12 +251,19 @@ int dprle::tools::runSolve(const std::vector<std::string> &Args,
   SolverOptions Opts;
   ObservabilityOptions Obs;
   std::string Path;
+  uint64_t Jobs = 1;
   for (const std::string &Arg : Args) {
     if (Arg == "--first")
       Opts.MaxSolutions = 1;
     else if (Arg == "--no-decision-cache")
       DecisionCache::global().setEnabled(false);
-    else if (Obs.consume(Arg))
+    else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--jobs=", Jobs, Err) || Jobs == 0) {
+        if (Jobs == 0)
+          Err << "error: --jobs= must be at least 1\n";
+        return 2;
+      }
+    } else if (Obs.consume(Arg))
       continue;
     else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       Err << "error: unknown option " << Arg << "\n";
@@ -260,6 +287,16 @@ int dprle::tools::runSolve(const std::vector<std::string> &Args,
     Err << Path << ":" << Parsed.ErrorLine << ": error: " << Parsed.Error
         << "\n";
     return 2;
+  }
+
+  // The pool outlives the solve; with --jobs=1 (the default) no pool is
+  // created and the solve is the historical serial path.
+  std::unique_ptr<dprle::service::ThreadPool> Pool;
+  if (Jobs > 1) {
+    Pool = std::make_unique<dprle::service::ThreadPool>(
+        static_cast<unsigned>(Jobs));
+    Opts.Jobs = static_cast<unsigned>(Jobs);
+    Opts.Exec = Pool.get();
   }
 
   StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
@@ -663,6 +700,37 @@ int dprle::tools::runCorpus(const std::vector<std::string> &Args,
   return 0;
 }
 
+int dprle::tools::runServe(const std::vector<std::string> &Args,
+                           std::istream &In, std::ostream &Out,
+                           std::ostream &Err) {
+  dprle::service::ServiceOptions Opts;
+  for (const std::string &Arg : Args) {
+    uint64_t Value = 0;
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--jobs=", Value, Err))
+        return 2;
+      if (Value == 0) {
+        Err << "error: --jobs= must be at least 1\n";
+        return 2;
+      }
+      Opts.Jobs = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--deadline-ms=", Value, Err))
+        return 2;
+      Opts.DefaultDeadlineMs = Value;
+    } else if (Arg.rfind("--max-states=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--max-states=", Value, Err))
+        return 2;
+      Opts.MaxNfaStates = Value;
+    } else {
+      Err << "error: unknown option " << Arg << "\n";
+      return 2;
+    }
+  }
+  dprle::service::SolverService Service(Opts);
+  return Service.serve(In, Out);
+}
+
 int dprle::tools::runMain(const std::vector<std::string> &Args,
                           std::istream &In, std::ostream &Out,
                           std::ostream &Err) {
@@ -681,6 +749,8 @@ int dprle::tools::runMain(const std::vector<std::string> &Args,
     return runAutomata(Rest, Out, Err);
   if (Args[0] == "corpus")
     return runCorpus(Rest, Out, Err);
+  if (Args[0] == "serve")
+    return runServe(Rest, In, Out, Err);
   if (Args[0] == "--help" || Args[0] == "help") {
     printUsage(Out);
     return 0;

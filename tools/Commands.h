@@ -6,21 +6,28 @@
 /// in, streams out, exit code returned).
 ///
 /// Subcommands:
-///   dprle solve [--first] <file.rma | ->        solve a constraint file
+///   dprle solve [--first] [--jobs=N] <file.rma | ->  solve a constraint file
 ///   dprle analyze [--attack=sql|xss] <file.php>  find injection exploits
 ///   dprle taint [--attack=sql|xss] <file.php>    taint/slice lint report
 ///   dprle automata <op> <machine...>             automata calculator
 ///   dprle corpus <directory>                     dump the Fig. 11 corpus
+///   dprle serve [--jobs=N] [--deadline-ms=D] [--max-states=N]
+///                                                NDJSON solving service
 ///
 /// `solve`, `analyze`, and `taint` additionally accept
 /// `--stats=<file.json>` and `--trace=<file.json>`, which emit
 /// machine-readable run statistics and a hierarchical phase trace; the
 /// schemas are documented in docs/OBSERVABILITY.md.
 ///
-/// Exit codes: `solve` 0 sat / 1 unsat; `analyze` 0 vulnerable / 1 not
-/// vulnerable / 3 parsed but no sinks to audit; `taint` 0 every sink
-/// proven safe / 1 some sink needs solving / 3 no sinks; all commands
-/// exit 2 on usage or input errors.
+/// Exit codes:
+///   solve    0 sat / 1 unsat
+///   analyze  0 vulnerable / 1 not vulnerable / 3 no sinks to audit
+///   taint    0 every sink proven safe / 1 some sink needs solving /
+///            3 no sinks
+///   automata 0 yes (equiv/subset/accepts; or success) / 1 no
+///   serve    0 clean stop (EOF or shutdown request); per-request errors
+///            are structured protocol responses, never exit codes
+///   all      2 on usage or input errors
 ///
 /// Machines are given either as /regex/ literals (extended dialect: `&`
 /// intersection, `~` complement) or as paths to files in the serialized
@@ -57,6 +64,10 @@ int runAutomata(const std::vector<std::string> &Args, std::ostream &Out,
 /// `dprle corpus` — write the synthetic corpus to a directory.
 int runCorpus(const std::vector<std::string> &Args, std::ostream &Out,
               std::ostream &Err);
+
+/// `dprle serve` — the NDJSON solving service (docs/SERVICE.md).
+int runServe(const std::vector<std::string> &Args, std::istream &In,
+             std::ostream &Out, std::ostream &Err);
 
 /// Top-level dispatch (argv[0] already stripped). Prints usage on
 /// unknown commands.
