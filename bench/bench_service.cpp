@@ -27,6 +27,7 @@
 #include "miniphp/Unroll.h"
 #include "service/Service.h"
 #include "support/Json.h"
+#include "support/Stats.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -120,15 +121,13 @@ struct BatchOutcome {
 };
 
 BatchOutcome runBatch(const std::vector<PreparedRequest> &Batch,
-                      unsigned Jobs) {
+                      const ServiceOptions &Opts) {
   std::string Input;
   for (const PreparedRequest &R : Batch)
     Input += R.Line + "\n";
   std::istringstream In(Input);
   std::ostringstream Out;
 
-  ServiceOptions Opts;
-  Opts.Jobs = Jobs;
   SolverService Service(Opts);
   Timer Clock;
   Service.serve(In, Out);
@@ -185,7 +184,9 @@ int main() {
   benchjson::BenchReport Report("service");
   std::map<unsigned, BatchOutcome> Outcomes;
   for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
-    BatchOutcome O = runBatch(Batch, Jobs);
+    ServiceOptions Opts;
+    Opts.Jobs = Jobs;
+    BatchOutcome O = runBatch(Batch, Opts);
     std::printf("%6u %10.3f %14.1f %12.4f %12.4f\n", Jobs, O.WallSeconds,
                 double(Batch.size()) / O.WallSeconds,
                 percentile(O.Latencies, 0.50), percentile(O.Latencies, 0.95));
@@ -233,6 +234,61 @@ int main() {
                    {"scaling_gate_enforced", Cores >= 4 ? 1.0 : 0.0},
                    {"scaling_gate_ok", ScalingOk ? 1.0 : 0.0}};
 
+  // Chaos scenario (docs/ROBUSTNESS.md): pathological budgeted requests —
+  // small operands whose product explodes — ride along with normal ones.
+  // Gates: every pathological request is answered `resource_exhausted`
+  // (structured, within its budget) and the normal requests' verdicts are
+  // unchanged by the mayhem next to them.
+  constexpr size_t NormalInChaos = 8;
+  constexpr size_t PathologicalInChaos = 4;
+  std::vector<PreparedRequest> Chaos(
+      Batch.begin(),
+      Batch.begin() + std::min(Batch.size(), NormalInChaos));
+  std::vector<std::string> PathologicalIds;
+  for (size_t I = 0; I != PathologicalInChaos; ++I) {
+    std::string Id = "pathological#" + std::to_string(I);
+    PathologicalIds.push_back(Id);
+    Json Req = Json::object();
+    Req["id"] = Id;
+    Req["method"] = "solve";
+    Json Params = Json::object();
+    Params["constraints"] = "var v; var w; v . w <= /(a|b)*a(a|b){10}/;";
+    Params["max_states"] = 500;
+    Params["max_solutions"] = 1;
+    Req["params"] = std::move(Params);
+    Chaos.push_back({Id, Req.dump(0)});
+  }
+
+  StatsRegistry::Snapshot StatsBefore = StatsRegistry::global().snapshot();
+  ServiceOptions ChaosOpts;
+  ChaosOpts.Jobs = 2;
+  BatchOutcome ChaosOutcome = runBatch(Chaos, ChaosOpts);
+  StatsRegistry::Snapshot StatsDelta = StatsRegistry::delta(
+      StatsBefore, StatsRegistry::global().snapshot());
+
+  bool ChaosOk = true;
+  for (const std::string &Id : PathologicalIds)
+    if (ChaosOutcome.Verdicts[Id] != "error:resource_exhausted")
+      ChaosOk = false;
+  for (size_t I = 0; I != std::min(Batch.size(), NormalInChaos); ++I)
+    if (ChaosOutcome.Verdicts[Batch[I].Id] !=
+        Outcomes[1].Verdicts[Batch[I].Id])
+      ChaosOk = false;
+  std::printf("chaos: %zu pathological + %zu normal requests, "
+              "budget-governed — %s\n",
+              PathologicalIds.size(), std::min(Batch.size(), NormalInChaos),
+              ChaosOk ? "PASS" : "FAIL");
+
+  benchjson::BenchRun &ChaosRun = Report.addRun("chaos");
+  ChaosRun.RealSeconds = ChaosOutcome.WallSeconds;
+  ChaosRun.Counters = {
+      {"chaos_gate_ok", ChaosOk ? 1.0 : 0.0},
+      {"pathological_requests", double(PathologicalIds.size())},
+  };
+  for (const auto &[Name, Value] : StatsDelta)
+    if (Name.rfind("budget.", 0) == 0 || Name.rfind("fault.", 0) == 0)
+      ChaosRun.Counters.emplace_back(Name, double(Value));
+
   Report.write();
-  return VerdictsMatch && ScalingOk ? 0 : 1;
+  return VerdictsMatch && ScalingOk && ChaosOk ? 0 : 1;
 }

@@ -5,19 +5,25 @@ Spawns the service as a subprocess, submits a batch of requests, and
 correlates responses by id (the service answers in *completion* order,
 so responses can arrive out of request order at --jobs > 1).
 
+Demonstrates the robustness protocol (docs/ROBUSTNESS.md):
+
+ * requests shed with `overloaded` are retried with exponential backoff
+   plus jitter, honoring the server's retry_after_ms hint and marking
+   each resend with a `retry` attempt counter;
+ * a pathological solve carrying a small max_states budget is answered
+   with `resource_exhausted` (a final verdict — retrying cannot help);
+ * a malformed line gets a structured parse_error, not a dead server.
+
 Standard library only. Usage:
 
     python3 examples/service_client.py [path/to/dprle] [--jobs=N]
-
-The demo batch exercises each method: ping, a satisfiable solve (the
-paper's Section 2 motivating example), an unsatisfiable solve, a decide
-query, a deliberately malformed request (structured error, not a crash),
-and shutdown.
 """
 
 import json
+import random
 import subprocess
 import sys
+import time
 
 
 MOTIVATING = (
@@ -26,6 +32,14 @@ MOTIVATING = (
     "v1 <= search(/[0-9]+$/);"
     '"nid_" . v1 <= attack;'
 )
+
+# Small operands whose intermediate machines explode: with a tight
+# max_states budget the service answers `resource_exhausted` instead of
+# grinding (see docs/ROBUSTNESS.md).
+PATHOLOGICAL = "var v; var w; v . w <= /(a|b)*a(a|b){10}/;"
+
+MAX_ATTEMPTS = 5
+BASE_BACKOFF_S = 0.05
 
 
 def demo_requests():
@@ -38,8 +52,18 @@ def demo_requests():
                                   "var v; v <= /a/; v <= /b/;"}),
         ("solve-slow", "solve", {"constraints": "var v; v <= /a*b*c*/;",
                                  "deadline_ms": 10000}),
+        ("solve-exhausted", "solve", {"constraints": PATHOLOGICAL,
+                                      "max_states": 500}),
         ("stats-1", "stats", {}),
     ]
+
+
+def backoff_seconds(attempt, retry_after_ms):
+    """Exponential backoff with +/-25% jitter, floored at the server's
+    retry_after_ms hint."""
+    delay = BASE_BACKOFF_S * (2 ** (attempt - 1))
+    delay = max(delay, retry_after_ms / 1000.0)
+    return delay * random.uniform(0.75, 1.25)
 
 
 def main():
@@ -52,31 +76,77 @@ def main():
             binary = arg
 
     proc = subprocess.Popen(
-        [binary, "serve", jobs],
+        [binary, "serve", jobs, "--max-queue=4"],
         stdin=subprocess.PIPE,
         stdout=subprocess.PIPE,
         text=True,
     )
 
+    def send(obj_or_line):
+        line = (obj_or_line if isinstance(obj_or_line, str)
+                else json.dumps(obj_or_line))
+        proc.stdin.write(line + "\n")
+        proc.stdin.flush()
+
     requests = demo_requests()
-    lines = [json.dumps({"id": rid, "method": method, "params": params})
-             for rid, method, params in requests]
+    params_by_id = {}
+    for rid, method, params in requests:
+        params_by_id[rid] = (method, params)
+        send({"id": rid, "method": method, "params": params})
     # One malformed line: the service answers it with a structured
     # parse_error response (id null) instead of dying.
-    lines.append("this is not json")
-    lines.append(json.dumps({"id": "bye", "method": "shutdown"}))
-    out, _ = proc.communicate("\n".join(lines) + "\n")
+    send("this is not json")
 
+    # Read until every request has a non-overloaded answer, retrying shed
+    # requests with backoff. Responses for unknown/null ids (the parse
+    # error) are reported as they come.
+    attempts = {rid: 1 for rid in params_by_id}
     by_id = {}
-    unattributed = []
-    for line in out.splitlines():
-        if not line.strip():
+    pending = set(params_by_id)
+    while pending:
+        line = proc.stdout.readline()
+        if not line:
+            break  # Server went away; report what we have.
+        line = line.strip()
+        if not line:
             continue
         resp = json.loads(line)
-        if resp.get("id") is None:
-            unattributed.append(resp)
-        else:
-            by_id[resp["id"]] = resp
+        rid = resp.get("id")
+        if rid not in params_by_id:
+            err = resp.get("error", {})
+            print(f"(id {rid}): error {err.get('code')}: "
+                  f"{err.get('message')}")
+            continue
+        error = resp.get("error") or {}
+        if not resp["ok"] and error.get("code") == "overloaded":
+            attempt = attempts[rid]
+            if attempt >= MAX_ATTEMPTS:
+                print(f"{rid}: gave up after {attempt} attempts")
+                by_id[rid] = resp
+                pending.discard(rid)
+                continue
+            delay = backoff_seconds(attempt, error.get("retry_after_ms", 0))
+            print(f"{rid}: overloaded, retrying in {delay * 1000:.0f}ms "
+                  f"(attempt {attempt + 1})")
+            time.sleep(delay)
+            attempts[rid] = attempt + 1
+            method, params = params_by_id[rid]
+            send({"id": rid, "method": method,
+                  "params": {**params, "retry": attempt}})
+            continue
+        by_id[rid] = resp
+        pending.discard(rid)
+
+    send({"id": "bye", "method": "shutdown"})
+    proc.stdin.close()
+    shutdown_ok = False
+    for line in proc.stdout:
+        line = line.strip()
+        if not line:
+            continue
+        resp = json.loads(line)
+        if resp.get("id") == "bye":
+            shutdown_ok = resp["ok"]
 
     for rid, method, _ in requests:
         resp = by_id.get(rid)
@@ -98,19 +168,18 @@ def main():
                 cache = result["decision_cache"]
                 print(f"{rid}: jobs={result['jobs']} "
                       f"cache={cache['machines']} machines / "
-                      f"{cache['answers']} answers")
+                      f"{cache['answers']} answers "
+                      f"queue_depth={result.get('queue_depth')}")
             else:
                 print(f"{rid}: ok")
         else:
             err = resp["error"]
-            print(f"{rid}: error {err['code']}: {err['message']}")
+            extra = ""
+            if err.get("dimension"):
+                extra = f" (dimension: {err['dimension']})"
+            print(f"{rid}: error {err['code']}: {err['message']}{extra}")
 
-    for resp in unattributed:
-        err = resp.get("error", {})
-        print(f"(id null): error {err.get('code')}: {err.get('message')}")
-
-    shutdown = by_id.get("bye")
-    print("shutdown acknowledged" if shutdown and shutdown["ok"]
+    print("shutdown acknowledged" if shutdown_ok
           else "shutdown NOT acknowledged")
     return proc.wait()
 

@@ -2,7 +2,9 @@
 
 #include "automata/Decide.h"
 #include "automata/Dfa.h"
+#include "support/Budget.h"
 #include "support/Executor.h"
+#include "support/FaultInjector.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -10,6 +12,7 @@
 #include <cassert>
 #include <deque>
 #include <map>
+#include <new>
 
 using namespace dprle;
 
@@ -66,10 +69,14 @@ public:
   /// Returns the node index of an accepting pair, or SIZE_MAX when the
   /// intersection is empty.
   size_t run() {
+    if (FaultInjector::global().shouldFail("alloc.decide.product"))
+      throw std::bad_alloc();
     size_t Hit = intern(L.start(), R.start(), SIZE_MAX, -1);
     if (Hit != SIZE_MAX)
       return Hit;
-    while (!Work.empty()) {
+    // A budget-exhausted search stops without an answer; the caller must
+    // poll the ambient budget and treat the result as unusable.
+    while (!Work.empty() && !ResourceGuard::exhausted()) {
       size_t Cur = Work.front();
       Work.pop_front();
       // Nodes may reallocate while successors are interned; copy the pair.
@@ -126,6 +133,7 @@ private:
       return SIZE_MAX;
     Nodes.push_back({A, B, Parent, Symbol});
     DecideStats::global().ProductPairsVisited++;
+    ResourceGuard::chargeStates();
     if (L.isAccepting(A) && R.isAccepting(B))
       return It->second;
     Work.push_back(It->second);
@@ -162,13 +170,15 @@ public:
   /// Returns the node index of a counterexample configuration, or
   /// SIZE_MAX when Lhs ⊆ Rhs.
   size_t run() {
+    if (FaultInjector::global().shouldFail("alloc.decide.subset"))
+      throw std::bad_alloc();
     std::vector<StateId> Initial = {R.start()};
     R.epsilonClosure(Initial);
     size_t Hit = intern(L.start(), internMacro(std::move(Initial)),
                         SIZE_MAX, -1);
     if (Hit != SIZE_MAX)
       return Hit;
-    while (!Work.empty()) {
+    while (!Work.empty() && !ResourceGuard::exhausted()) {
       size_t Cur = Work.front();
       Work.pop_front();
       StateId A = Nodes[Cur].LState;
@@ -220,6 +230,10 @@ private:
         Acc = Acc || R.isAccepting(S);
       MacroAccepting.push_back(Acc);
       MacroMoves.emplace_back(Partition.numClasses(), NoMove);
+      // A macro-state owns its sorted set plus a lazy move row.
+      ResourceGuard::chargeStates();
+      ResourceGuard::chargeMemory(MacroSets.back()->size() * sizeof(StateId) +
+                                  Partition.numClasses() * sizeof(uint32_t));
     }
     return It->second;
   }
@@ -276,6 +290,7 @@ private:
     Chain.push_back(Macro);
     Nodes.push_back({A, Macro, Parent, Symbol});
     DecideStats::global().MacroPairsVisited++;
+    ResourceGuard::chargeStates();
     if (L.isAccepting(A) && !MacroAccepting[Macro])
       return Nodes.size() - 1;
     Work.push_back(Nodes.size() - 1);
@@ -467,7 +482,10 @@ bool dprle::emptyIntersection(const Nfa &Lhs, const Nfa &Rhs) {
   if (Found != SIZE_MAX)
     recordEarlyExit(Search.wordTo(Found).size());
   bool Answer = Found == SIZE_MAX;
-  DecisionCache::global().store(Key, Answer);
+  // A truncated (budget-exhausted) search proves nothing — the caller
+  // discards the answer, and it must never poison the cache.
+  if (!ResourceGuard::exhausted())
+    DecisionCache::global().store(Key, Answer);
   return Answer;
 }
 
@@ -496,7 +514,8 @@ bool dprle::subsetOf(const Nfa &Lhs, const Nfa &Rhs) {
   if (Found != SIZE_MAX)
     recordEarlyExit(Search.wordTo(Found).size());
   bool Answer = Found == SIZE_MAX;
-  DecisionCache::global().store(Key, Answer);
+  if (!ResourceGuard::exhausted())
+    DecisionCache::global().store(Key, Answer);
   return Answer;
 }
 
@@ -521,7 +540,8 @@ bool dprle::equivalentTo(const Nfa &Lhs, const Nfa &Rhs) {
           DecisionCache::Query::Equivalent, Lhs, &Rhs, Key))
     return *Hit;
   bool Answer = subsetOf(Lhs, Rhs) && subsetOf(Rhs, Lhs);
-  DecisionCache::global().store(Key, Answer);
+  if (!ResourceGuard::exhausted())
+    DecisionCache::global().store(Key, Answer);
   return Answer;
 }
 
@@ -533,6 +553,7 @@ bool dprle::isEmpty(const Nfa &M) {
                                                 M, nullptr, Key))
     return *Hit;
   bool Answer = M.languageIsEmpty();
-  DecisionCache::global().store(Key, Answer);
+  if (!ResourceGuard::exhausted())
+    DecisionCache::global().store(Key, Answer);
   return Answer;
 }

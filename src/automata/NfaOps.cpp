@@ -3,12 +3,15 @@
 #include "automata/NfaOps.h"
 #include "automata/Decide.h"
 #include "automata/OpStats.h"
+#include "support/Budget.h"
+#include "support/FaultInjector.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
 #include <deque>
 #include <map>
+#include <new>
 #include <unordered_map>
 
 using namespace dprle;
@@ -22,6 +25,14 @@ namespace {
 /// Copies \p Src into \p Dst, returning the old->new state map. Acceptance
 /// flags are not copied.
 std::vector<StateId> embed(Nfa &Dst, const Nfa &Src) {
+  if (FaultInjector::global().shouldFail("alloc.embed"))
+    throw std::bad_alloc();
+  // Embedding is linear in the source machine, so no truncation is needed;
+  // charging lets concat/star chains trip the cumulative budget, which the
+  // callers' loop headers poll.
+  ResourceGuard::chargeStates(Src.numStates());
+  ResourceGuard::chargeTransitions(Src.numTransitions());
+  ResourceGuard::chargeMachine(Dst.numStates() + Src.numStates());
   std::vector<StateId> Map(Src.numStates());
   for (StateId S = 0; S != Src.numStates(); ++S)
     Map[S] = Dst.addState();
@@ -116,6 +127,8 @@ Nfa dprle::optional(const Nfa &M) {
 
 Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
   DPRLE_TRACE_SPAN("intersect");
+  if (FaultInjector::global().shouldFail("alloc.intersect"))
+    throw std::bad_alloc();
   // Lazily materialize state pairs reachable from (startL, startR).
   // Epsilon transitions advance one side only and preserve their markers.
   Nfa Out;
@@ -146,6 +159,8 @@ Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
       Origin.push_back({A, B});
       Work.push_back({A, B, It->second});
       OpStats::global().ProductStatesVisited++;
+      ResourceGuard::chargeStates();
+      ResourceGuard::chargeMachine(Origin.size());
       if (Lhs.isAccepting(A) && Rhs.isAccepting(B))
         Out.setAccepting(It->second);
     }
@@ -153,11 +168,15 @@ Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
   };
 
   GetState(Lhs.start(), Rhs.start());
-  while (!Work.empty()) {
+  // The budget poll unwinds the lazy construction cooperatively: the
+  // truncated product is a valid machine over the pairs built so far, and
+  // callers discard it after polling the ambient budget.
+  while (!Work.empty() && !ResourceGuard::exhausted()) {
     auto [A, B, From] = Work.front();
     Work.pop_front();
     for (const Transition &TA : Lhs.transitionsFrom(A)) {
       if (TA.IsEpsilon) {
+        ResourceGuard::chargeTransitions();
         Out.addEpsilon(From, GetState(TA.To, B), TA.Marker);
         continue;
       }
@@ -167,12 +186,14 @@ Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
         CharSet Common = TA.Label & TB.Label;
         if (Common.empty())
           continue;
+        ResourceGuard::chargeTransitions();
         Out.addTransition(From, Common, GetState(TA.To, TB.To));
       }
     }
     for (const Transition &TB : Rhs.transitionsFrom(B)) {
       if (!TB.IsEpsilon)
         continue;
+      ResourceGuard::chargeTransitions();
       Out.addEpsilon(From, GetState(A, TB.To), TB.Marker);
     }
   }
@@ -187,6 +208,8 @@ Nfa dprle::intersect(const Nfa &Lhs, const Nfa &Rhs, ProductMap *Map) {
 
 Dfa dprle::determinize(const Nfa &M) {
   DPRLE_TRACE_SPAN("determinize");
+  if (FaultInjector::global().shouldFail("alloc.determinize"))
+    throw std::bad_alloc();
   AlphabetPartition Partition = AlphabetPartition::compute(M);
   const unsigned K = Partition.numClasses();
 
@@ -207,6 +230,11 @@ Dfa dprle::determinize(const Nfa &M) {
         Acc = Acc || M.isAccepting(S);
       AcceptingRows.push_back(Acc);
       OpStats::global().DeterminizeStatesVisited++;
+      // One DFA state = one table row of K cells plus the subset itself.
+      ResourceGuard::chargeStates();
+      ResourceGuard::chargeTransitions(K);
+      ResourceGuard::chargeMemory(It->first.size() * sizeof(StateId));
+      ResourceGuard::chargeMachine(Sets.size());
     }
     return It->second;
   };
@@ -215,7 +243,8 @@ Dfa dprle::determinize(const Nfa &M) {
   M.epsilonClosure(Initial);
   StateId StartSet = Intern(std::move(Initial));
 
-  for (StateId Cur = 0; Cur != Sets.size(); ++Cur) {
+  for (StateId Cur = 0; Cur != Sets.size() && !ResourceGuard::exhausted();
+       ++Cur) {
     // Copy: Sets may reallocate as successors are interned.
     std::vector<StateId> Set = Sets[Cur];
     for (unsigned C = 0; C != K; ++C) {
@@ -233,6 +262,17 @@ Dfa dprle::determinize(const Nfa &M) {
       M.epsilonClosure(Next);
       TableRows[Cur][C] = Intern(std::move(Next));
     }
+  }
+
+  if (ResourceGuard::exhausted()) {
+    // Cooperative unwind: some table rows were never filled. Return a
+    // well-formed one-state sink (complete, non-accepting) that callers
+    // discard after polling the ambient budget — never a table with
+    // InvalidState entries.
+    Dfa Sink(Partition, 1, 0);
+    for (unsigned C = 0; C != K; ++C)
+      Sink.setNext(0, C, 0);
+    return Sink;
   }
 
   Dfa Out(Partition, Sets.size(), StartSet);
@@ -278,6 +318,12 @@ namespace {
 /// accepting pair (accA, accB) is reachable from it.
 std::vector<bool> pairCoReachable(const Nfa &A, const Nfa &B) {
   const size_t NB = B.numStates();
+  // Charge the whole |A|x|B| pair graph up front — unlike the lazy
+  // constructions this one allocates its full table eagerly, so the budget
+  // must veto it *before* the allocation, not during.
+  ResourceGuard::chargeStates(A.numStates() * NB);
+  if (ResourceGuard::exhausted())
+    return std::vector<bool>(A.numStates() * NB, false);
   auto Index = [NB](StateId SA, StateId SB) { return size_t(SA) * NB + SB; };
   // Build reverse adjacency of the pair graph.
   std::vector<std::vector<uint32_t>> Rev(A.numStates() * NB);
@@ -340,6 +386,9 @@ Nfa dprle::leftQuotient(const Nfa &Prefixes, const Nfa &K) {
   // L(Prefixes) — i.e. pairs (q, b) reachable from (K.start,
   // Prefixes.start) with b accepting in Prefixes.
   std::vector<bool> EntryPoint(K.numStates(), false);
+  ResourceGuard::chargeStates(size_t(K.numStates()) * Prefixes.numStates());
+  if (ResourceGuard::exhausted())
+    return Nfa();
   {
     std::vector<bool> Seen(size_t(K.numStates()) * Prefixes.numStates(),
                            false);

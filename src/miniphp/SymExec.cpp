@@ -155,11 +155,17 @@ public:
   }
 
   std::vector<PathCondition> run() {
+    // Charge the constraint machines the explorer builds (literals,
+    // attack-language copies, length languages) against the run's budget.
+    ResourceGuard BudgetScope(Opts.Budget);
     PathState Init;
     Init.Block = G.entry();
     explore(std::move(Init));
     return std::move(Results);
   }
+
+  /// True when the budget tripped and the enumeration was truncated.
+  bool exhausted() const { return Exhausted; }
 
 private:
   /// Symbolically evaluates \p E under \p State, interning input keys as
@@ -285,6 +291,11 @@ private:
   void explore(PathState State) {
     if (Results.size() >= Opts.MaxPaths)
       return;
+    if (Opts.Budget && Opts.Budget->exhausted()) {
+      // Cooperative unwind: stop enumerating, keep the paths built so far.
+      Exhausted = true;
+      return;
+    }
     if (PruneSlices && !PruneSlices->ReachesLiveSink[State.Block]) {
       // No live (not proven-safe) sink is reachable from here: every
       // suffix path either ends sink-free or at a sink whose constraint
@@ -405,6 +416,7 @@ private:
   /// Sinks the taint pre-pass proved safe.
   std::set<const Stmt *> SafeSinks;
   std::vector<PathCondition> Results;
+  bool Exhausted = false;
 };
 
 } // namespace
@@ -433,6 +445,7 @@ SymExecResult dprle::miniphp::runSymExec(const Program &P, const Cfg &G,
     }
   }
   Result.Paths = E.run();
+  Result.ResourceExhausted = E.exhausted();
   return Result;
 }
 

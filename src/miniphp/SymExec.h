@@ -25,6 +25,7 @@
 #include "miniphp/Ast.h"
 #include "miniphp/Cfg.h"
 #include "solver/Problem.h"
+#include "support/Budget.h"
 #include "support/Stats.h"
 
 #include <cstdint>
@@ -94,6 +95,11 @@ struct SymExecOptions {
   /// changes the raw sink-path counts that the Figure 11/12 baselines
   /// pin (docs/PERFORMANCE.md).
   bool ConstantFeasibilityPrune = false;
+  /// Optional resource budget (docs/ROBUSTNESS.md): installed as the
+  /// run's ambient ResourceGuard so the NFA constraint machines the
+  /// explorer builds are charged; exploration stops (with
+  /// SymExecResult::ResourceExhausted set) when it trips.
+  ResourceBudget *Budget = nullptr;
 };
 
 /// The outcome of one symbolic-execution run.
@@ -107,6 +113,9 @@ struct SymExecResult {
   unsigned SinksProvenSafe = 0;
   /// True when the taint pre-pass ran and its facts were used.
   bool TaintUsed = false;
+  /// True when SymExecOptions::Budget tripped mid-run: Paths is then a
+  /// truncated enumeration, not the full path set.
+  bool ResourceExhausted = false;
 };
 
 /// Process-wide counters for the explorer, published to the StatsRegistry

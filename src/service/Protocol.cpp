@@ -2,6 +2,8 @@
 
 #include "service/Protocol.h"
 
+#include "support/StringUtils.h"
+
 using namespace dprle;
 using namespace dprle::service;
 
@@ -21,12 +23,27 @@ const char *dprle::service::errorCodeName(ErrorCode Code) {
     return "timeout";
   case ErrorCode::Cancelled:
     return "cancelled";
+  case ErrorCode::ResourceExhausted:
+    return "resource_exhausted";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::InternalError:
+    return "internal_error";
   }
   return "internal_error";
 }
 
 RequestParse dprle::service::parseRequest(const std::string &Line) {
   RequestParse Out;
+  // Reject malformed UTF-8 before anything else: the JSON writer passes
+  // bytes >= 0x80 through verbatim, so recovering an id or echoing parser
+  // context from a broken line could emit invalid UTF-8 in the response.
+  // The error message deliberately cites no bytes from the line.
+  if (!isValidUtf8(Line)) {
+    Out.Code = ErrorCode::ParseError;
+    Out.Message = "request line is not valid UTF-8";
+    return Out;
+  }
   std::string Error;
   std::optional<Json> Doc = Json::parse(Line, &Error);
   if (!Doc) {
@@ -84,13 +101,17 @@ Json dprle::service::makeResult(const Json &Id, Json Result) {
 }
 
 Json dprle::service::makeError(const Json &Id, ErrorCode Code,
-                               const std::string &Message) {
+                               const std::string &Message,
+                               const Json &Details) {
   Json Out = Json::object();
   Out["id"] = Id;
   Out["ok"] = false;
   Json Error = Json::object();
   Error["code"] = errorCodeName(Code);
   Error["message"] = Message;
+  if (Details.isObject())
+    for (const auto &[Name, Value] : Details.members())
+      Error[Name] = Value;
   Out["error"] = std::move(Error);
   return Out;
 }

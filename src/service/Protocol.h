@@ -46,6 +46,18 @@ enum class ErrorCode {
   Timeout,
   /// The request was cancelled explicitly (client disconnect, shutdown).
   Cancelled,
+  /// The request outgrew its resource budget (states / transitions /
+  /// memory; docs/ROBUSTNESS.md) and was abandoned. Distinct from both
+  /// "unsat" and timeout: retrying without a bigger budget will not help.
+  ResourceExhausted,
+  /// The service shed the request before running it (queue full). The
+  /// error object carries a retry_after_ms hint; retrying with backoff is
+  /// expected to succeed.
+  Overloaded,
+  /// An unexpected internal failure (allocation failure, injected fault).
+  /// The request was not answered on its merits; the service keeps
+  /// serving.
+  InternalError,
 };
 
 /// The stable wire name of \p Code ("parse_error", "timeout", ...).
@@ -77,8 +89,11 @@ RequestParse parseRequest(const std::string &Line);
 /// Builds the success envelope.
 Json makeResult(const Json &Id, Json Result);
 
-/// Builds the error envelope.
-Json makeError(const Json &Id, ErrorCode Code, const std::string &Message);
+/// Builds the error envelope. \p Details, when an object, contributes
+/// extra machine-readable members to the "error" object (e.g.
+/// retry_after_ms for Overloaded, dimension for ResourceExhausted).
+Json makeError(const Json &Id, ErrorCode Code, const std::string &Message,
+               const Json &Details = Json());
 
 } // namespace service
 } // namespace dprle

@@ -6,12 +6,17 @@
 #include "automata/Serialize.h"
 #include "solver/ConstraintParser.h"
 #include "solver/Solver.h"
+#include "support/Budget.h"
+#include "support/FaultInjector.h"
 #include "support/Stats.h"
 
+#include <algorithm>
 #include <istream>
 #include <mutex>
+#include <new>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 using namespace dprle;
@@ -57,6 +62,55 @@ bool readUnsigned(const Json &Params, const char *Name, uint64_t &Out,
   return true;
 }
 
+/// Budget-exhaustion error: names the breached dimension so clients can
+/// tell "raise max_states" apart from "raise max_memory_bytes".
+Json resourceError(const Json &Id, const ResourceBudget &Budget) {
+  ++BudgetStats::global().RequestsExhausted;
+  Json Details = Json::object();
+  Details["dimension"] = budgetDimensionName(Budget.dimension());
+  std::string Message = Budget.describeExhaustion();
+  if (Message.empty())
+    Message = "request resource budget exhausted";
+  return makeError(Id, ErrorCode::ResourceExhausted, Message, Details);
+}
+
+/// The effective per-request limits: the server caps, lowered (never
+/// raised) by the request's max_states / max_transitions /
+/// max_memory_bytes params. MaxNfaStates doubles as the per-machine cap
+/// so intermediate products obey the same bound as request operands.
+/// False on an ill-typed param, with \p Err set.
+bool requestLimits(const ServiceOptions &Opts, const Request &R,
+                   ResourceLimits &Limits, Json &Err) {
+  struct Knob {
+    const char *Name;
+    uint64_t Cap;
+    uint64_t *Out;
+  } Knobs[] = {
+      {"max_states", Opts.MaxStatesBudget, &Limits.MaxStates},
+      {"max_transitions", Opts.MaxTransitionsBudget, &Limits.MaxTransitions},
+      {"max_memory_bytes", Opts.MaxMemoryBytes, &Limits.MaxMemoryBytes},
+  };
+  for (const Knob &K : Knobs) {
+    uint64_t Value = 0;
+    bool Present = false;
+    if (!readUnsigned(R.Params, K.Name, Value, Present) ||
+        (Present && Value == 0)) {
+      Err = makeError(R.Id, ErrorCode::InvalidParams,
+                      std::string("\"") + K.Name +
+                          "\" must be a positive number");
+      return false;
+    }
+    if (!Present)
+      *K.Out = K.Cap;
+    else if (K.Cap == 0)
+      *K.Out = Value;
+    else
+      *K.Out = std::min(K.Cap, Value);
+  }
+  Limits.MaxStatesPerMachine = Opts.MaxNfaStates;
+  return true;
+}
+
 } // namespace
 
 SolverService::SolverService(const ServiceOptions &Opts)
@@ -72,23 +126,46 @@ Json SolverService::handleLine(const std::string &Line,
 
 Json SolverService::handleRequest(const Request &R,
                                   CancellationToken *External) {
-  CancellationToken Local;
-  CancellationToken &Token = External ? *External : Local;
+  // The catch-all keeps one failing request from taking down the service:
+  // whatever escapes the handlers — an allocation failure, an injected
+  // fault — becomes a structured internal_error and the worker survives.
+  try {
+    CancellationToken Local;
+    CancellationToken &Token = External ? *External : Local;
 
-  // Arm the deadline when the job starts: an explicit deadline_ms param
-  // (0 is valid and expires immediately — the deterministic-timeout test
-  // hook) overrides the service default (where 0 means "none").
-  uint64_t DeadlineMs = 0;
-  bool HasParam = false;
-  if (!readUnsigned(R.Params, "deadline_ms", DeadlineMs, HasParam))
-    return makeError(R.Id, ErrorCode::InvalidParams,
-                     "\"deadline_ms\" must be a number");
-  if (HasParam)
-    Token.setDeadlineAfterMs(DeadlineMs);
-  else if (Opts.DefaultDeadlineMs != 0)
-    Token.setDeadlineAfterMs(Opts.DefaultDeadlineMs);
+    // Arm the deadline when the job starts: an explicit deadline_ms param
+    // (0 is valid and expires immediately — the deterministic-timeout test
+    // hook) overrides the service default (where 0 means "none").
+    uint64_t DeadlineMs = 0;
+    bool HasParam = false;
+    if (!readUnsigned(R.Params, "deadline_ms", DeadlineMs, HasParam))
+      return makeError(R.Id, ErrorCode::InvalidParams,
+                       "\"deadline_ms\" must be a number");
+    if (FaultInjector::global().shouldFail("cancel.arm"))
+      throw std::runtime_error("injected fault: deadline arming failed");
+    if (HasParam)
+      Token.setDeadlineAfterMs(DeadlineMs);
+    else if (Opts.DefaultDeadlineMs != 0)
+      Token.setDeadlineAfterMs(Opts.DefaultDeadlineMs);
 
-  return dispatch(R, Token);
+    // Clients resending after an `overloaded` shed mark the attempt with
+    // retry >= 1; the counter sizes how much work backpressure recycles.
+    uint64_t Retry = 0;
+    bool HasRetry = false;
+    if (!readUnsigned(R.Params, "retry", Retry, HasRetry))
+      return makeError(R.Id, ErrorCode::InvalidParams,
+                       "\"retry\" must be a number");
+    if (HasRetry && Retry > 0)
+      ++BudgetStats::global().RequestsRetried;
+
+    return dispatch(R, Token);
+  } catch (const std::bad_alloc &) {
+    return makeError(R.Id, ErrorCode::InternalError,
+                     "out of memory while serving the request");
+  } catch (const std::exception &E) {
+    return makeError(R.Id, ErrorCode::InternalError,
+                     std::string("internal error: ") + E.what());
+  }
 }
 
 Json SolverService::dispatch(const Request &R, CancellationToken &Token) {
@@ -135,17 +212,26 @@ Json SolverService::doSolve(const Request &R, CancellationToken &Token) {
     return makeError(R.Id, ErrorCode::InvalidParams, Msg.str());
   }
 
+  ResourceLimits Limits;
+  Json LimitsErr;
+  if (!requestLimits(Opts, R, Limits, LimitsErr))
+    return LimitsErr;
+  ResourceBudget Budget(Limits);
+
   SolverOptions SOpts;
   if (HasMax)
     SOpts.MaxSolutions = MaxSolutions;
   SOpts.Jobs = Opts.Jobs;
   SOpts.Exec = Opts.Jobs > 1 ? &Pool : nullptr;
   SOpts.Cancel = &Token;
+  SOpts.Budget = &Budget;
 
   StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
   SolveResult SR = Solver(SOpts).solve(Parsed.Instance);
   if (SR.Cancelled)
     return cancelError(R.Id, Token);
+  if (SR.ResourceExhausted)
+    return resourceError(R.Id, Budget);
 
   const Problem &P = Parsed.Instance;
   Json Result = Json::object();
@@ -227,16 +313,29 @@ Json SolverService::doDecide(const Request &R, CancellationToken &Token) {
   if (Token.cancelled())
     return cancelError(R.Id, Token);
 
+  ResourceLimits Limits;
+  Json LimitsErr;
+  if (!requestLimits(Opts, R, Limits, LimitsErr))
+    return LimitsErr;
+  ResourceBudget Budget(Limits);
+
   StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
   bool Answer;
-  if (Q == "subset")
-    Answer = subsetOf(Lhs, Rhs);
-  else if (Q == "empty-intersection")
-    Answer = emptyIntersection(Lhs, Rhs);
-  else if (Q == "equivalent")
-    Answer = equivalentTo(Lhs, Rhs);
-  else
-    Answer = isEmpty(Lhs);
+  {
+    // Queries run under the request budget; on exhaustion they unwind
+    // with a truncated (meaningless) answer, discarded below.
+    ResourceGuard Guard(&Budget);
+    if (Q == "subset")
+      Answer = subsetOf(Lhs, Rhs);
+    else if (Q == "empty-intersection")
+      Answer = emptyIntersection(Lhs, Rhs);
+    else if (Q == "equivalent")
+      Answer = equivalentTo(Lhs, Rhs);
+    else
+      Answer = isEmpty(Lhs);
+  }
+  if (Budget.exhausted())
+    return resourceError(R.Id, Budget);
 
   Json Result = Json::object();
   Result["query"] = Q;
@@ -259,6 +358,14 @@ Json SolverService::doStats() const {
       static_cast<uint64_t>(DecisionCache::global().numAnswers());
   Out["decision_cache"] = std::move(Cache);
   Out["jobs"] = Opts.Jobs;
+  Out["queue_depth"] = static_cast<uint64_t>(Pool.queueDepth());
+  Json Governance = Json::object();
+  Governance["max_states"] = Opts.MaxStatesBudget;
+  Governance["max_transitions"] = Opts.MaxTransitionsBudget;
+  Governance["max_memory_bytes"] = Opts.MaxMemoryBytes;
+  Governance["max_machine_states"] = static_cast<uint64_t>(Opts.MaxNfaStates);
+  Governance["max_queue_depth"] = static_cast<uint64_t>(Opts.MaxQueueDepth);
+  Out["budgets"] = std::move(Governance);
   return Out;
 }
 
@@ -266,12 +373,31 @@ int SolverService::serve(std::istream &In, std::ostream &Out) {
   std::mutex OutMutex;
   auto Respond = [&](const Json &Resp) {
     std::lock_guard<std::mutex> Lock(OutMutex);
+    if (FaultInjector::global().shouldFail("io.write"))
+      return; // The injected write failure drops this one response; the
+              // loop keeps serving (clients recover via their own retry).
     Out << Resp.dump(0) << "\n";
     Out.flush();
   };
 
   std::string Line;
-  while (std::getline(In, Line)) {
+  unsigned ReadFailures = 0;
+  for (;;) {
+    // getline can throw bad_alloc materializing a pathological line;
+    // answer with a structured error and keep reading rather than
+    // terminate. Repeated failures mean the stream is unrecoverable.
+    try {
+      if (!std::getline(In, Line))
+        break;
+      ReadFailures = 0;
+    } catch (const std::exception &) {
+      Respond(makeError(Json(), ErrorCode::InternalError,
+                        "failed to read request line"));
+      In.clear();
+      if (++ReadFailures > 8)
+        break;
+      continue;
+    }
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       continue; // Blank keep-alive lines are ignored.
     RequestParse P = parseRequest(Line);
@@ -287,6 +413,21 @@ int SolverService::serve(std::istream &In, std::ostream &Out) {
       Pool.waitIdle();
       Respond(handleRequest(*P.Req));
       break;
+    }
+    // Admission control: a full queue sheds the request with a
+    // machine-readable retry hint instead of growing without bound.
+    // Pings are exempt — health probes must answer even under load.
+    bool QueueFull = Opts.MaxQueueDepth != 0 &&
+                     Pool.queueDepth() >= Opts.MaxQueueDepth &&
+                     P.Req->Method != "ping";
+    if (QueueFull || FaultInjector::global().shouldFail("queue.submit")) {
+      ++BudgetStats::global().RequestsShed;
+      Json Details = Json::object();
+      Details["retry_after_ms"] = Opts.RetryAfterMsHint;
+      Respond(makeError(P.Req->Id, ErrorCode::Overloaded,
+                        "service overloaded; retry after backoff",
+                        Details));
+      continue;
     }
     Pool.submit([this, Req = std::move(*P.Req), &Respond] {
       Respond(handleRequest(Req));

@@ -49,8 +49,29 @@ struct ServiceOptions {
   /// 0 = no default deadline.
   uint64_t DefaultDeadlineMs = 0;
   /// Reject decide operands with more states than this (structured
-  /// `oversized_machine` error). 0 = unlimited.
+  /// `oversized_machine` error), and bind every machine a request
+  /// *creates* to the same limit through the per-request budget
+  /// (ResourceLimits::MaxStatesPerMachine) — a small request whose
+  /// intermediate product explodes unwinds into `resource_exhausted`
+  /// instead of exhausting the process. 0 = unlimited.
   size_t MaxNfaStates = 1 << 20;
+
+  /// \name Resource governance and backpressure (docs/ROBUSTNESS.md)
+  /// @{
+  /// Server-side caps on the per-request resource budget (0 = unlimited).
+  /// Requests may *lower* them with max_states / max_transitions /
+  /// max_memory_bytes params; a request asking for more than the cap is
+  /// clamped to it.
+  uint64_t MaxStatesBudget = 0;
+  uint64_t MaxTransitionsBudget = 0;
+  uint64_t MaxMemoryBytes = 0;
+  /// Bound on the scheduler queue: serve() sheds non-ping requests with a
+  /// structured `overloaded` error (carrying retry_after_ms) when this
+  /// many jobs are already waiting. 0 = unbounded.
+  size_t MaxQueueDepth = 0;
+  /// The retry_after_ms hint attached to shed responses.
+  uint64_t RetryAfterMsHint = 50;
+  /// @}
 };
 
 class SolverService {

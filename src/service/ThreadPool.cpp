@@ -34,6 +34,11 @@ void ThreadPool::submit(std::function<void()> Job) {
   WorkReady.notify_one();
 }
 
+size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
+}
+
 void ThreadPool::waitIdle() {
   std::unique_lock<std::mutex> Lock(Mutex);
   Idle.wait(Lock, [this] { return Queue.empty() && ActiveJobs == 0; });

@@ -56,6 +56,12 @@ public:
   /// Enqueues \p Job for execution on some worker, FIFO order.
   void submit(std::function<void()> Job);
 
+  /// Jobs queued but not yet picked up by a worker. The admission
+  /// controller of the serve loop sheds load when this crosses
+  /// ServiceOptions::MaxQueueDepth (docs/ROBUSTNESS.md); like any queue
+  /// probe it is advisory — the depth can change before the caller acts.
+  size_t queueDepth() const;
+
   /// Blocks until the queue is empty and no job is running.
   void waitIdle();
 
@@ -69,7 +75,7 @@ private:
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable WorkReady;
   std::condition_variable Idle;
   size_t ActiveJobs = 0;

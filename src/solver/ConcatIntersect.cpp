@@ -3,6 +3,7 @@
 #include "solver/ConcatIntersect.h"
 #include "automata/NfaOps.h"
 #include "automata/OpStats.h"
+#include "support/Budget.h"
 #include "support/Trace.h"
 
 #include <cassert>
@@ -29,6 +30,11 @@ std::vector<CiAssignment> dprle::concatIntersect(const Nfa &C1, const Nfa &C2,
   Nfa M3 = C3.withoutEpsilonTransitions().withSingleAccepting();
   Nfa M4 = concat(M1, M2, Marker);
   Nfa M5 = intersect(M4, M3);
+  // Cooperative unwind (docs/ROBUSTNESS.md): a truncated product has no
+  // usable marker instances, so return no assignments; the caller polls
+  // the ambient budget to distinguish this from genuine unsatisfiability.
+  if (ResourceGuard::exhausted())
+    return {};
   // Trimming keeps only marked instances that lie on an accepting path,
   // exactly the pairs (qa, qb) with qb in delta5(qa, eps) that can yield
   // non-empty assignments.
@@ -44,8 +50,9 @@ std::vector<CiAssignment> dprle::concatIntersect(const Nfa &C1, const Nfa &C2,
   // Lines 12-15: one candidate assignment per epsilon instance.
   std::vector<CiAssignment> Out;
   for (const EpsilonInstance &Inst : Instances) {
-    if (Out.size() >= MaxSolutions)
+    if (Out.size() >= MaxSolutions || ResourceGuard::exhausted())
       break;
+    ResourceGuard::chargeStates(2 * M5Trim.numStates());
     OpStats::global().InduceStatesVisited += 2 * M5Trim.numStates();
     Nfa V1 = M5Trim.inducedFromFinal(Inst.From).trimmed();
     Nfa V2 = M5Trim.inducedFromStart(Inst.To).trimmed();

@@ -69,6 +69,27 @@ private:
 
   bool cancelled() const { return Opts.Cancel && Opts.Cancel->cancelled(); }
 
+  /// Pure poll for parallel bodies (no Result mutation — workers must not
+  /// race the enumerating thread): should the run stop doing work?
+  bool unwinding() const {
+    return cancelled() || (Opts.Budget && Opts.Budget->exhausted());
+  }
+
+  /// Loop-header poll: records the unwind cause in Result and returns
+  /// true when the run must stop. Cancellation wins the tie so a deadline
+  /// that expires while the budget trips still reports as timeout.
+  bool interrupted() {
+    if (cancelled()) {
+      Result.Cancelled = true;
+      return true;
+    }
+    if (Opts.Budget && Opts.Budget->exhausted()) {
+      Result.ResourceExhausted = true;
+      return true;
+    }
+    return false;
+  }
+
   /// One flattened constraint of the group: the term sequence of a root's
   /// expression tree plus the conjunction of the root's RHS constants.
   struct FlatConstraint {
@@ -435,10 +456,8 @@ void GciRun::enumerateSerial(const std::vector<ChoicePoint> &Choices,
   // Odometer over all_combinations (Figure 8 line 15).
   std::vector<size_t> Odometer(Choices.size(), 0);
   while (true) {
-    if (cancelled()) {
-      Result.Cancelled = true;
+    if (interrupted())
       return;
-    }
     ++Result.CombinationsTried;
     ComboOutcome O = evaluateCombination(Choices, Odometer, Vars);
     if (O.Rejected)
@@ -469,14 +488,15 @@ void GciRun::enumerateParallel(const std::vector<ChoicePoint> &Choices,
   const size_t Wave = size_t(Opts.Jobs) * 4;
   std::vector<ComboOutcome> Outcomes;
   for (size_t Base = 0; Base < Total; Base += Wave) {
-    if (cancelled()) {
-      Result.Cancelled = true;
+    if (interrupted())
       return;
-    }
     size_t Count = std::min(Wave, Total - Base);
     Outcomes.assign(Count, ComboOutcome());
     Opts.Exec->parallelFor(Count, [&](size_t I) {
-      if (cancelled())
+      // Re-install the ambient budget: the body runs on pool worker
+      // threads, whose thread-local guard is unset.
+      ResourceGuard BudgetScope(Opts.Budget);
+      if (unwinding())
         return; // Skipped outcomes read as invalid; the run is unwinding.
       std::vector<size_t> Digits(Choices.size());
       size_t Rem = Base + I;
@@ -486,10 +506,8 @@ void GciRun::enumerateParallel(const std::vector<ChoicePoint> &Choices,
       }
       Outcomes[I] = evaluateCombination(Choices, Digits, Vars);
     });
-    if (cancelled()) {
-      Result.Cancelled = true;
+    if (interrupted())
       return;
-    }
     for (ComboOutcome &O : Outcomes) {
       ++Result.CombinationsTried;
       if (O.Rejected)
@@ -502,17 +520,22 @@ void GciRun::enumerateParallel(const std::vector<ChoicePoint> &Choices,
 
 GciResult GciRun::run() {
   DPRLE_TRACE_SPAN("gci");
+  // The run's machines are built on this thread; parallel wave bodies
+  // re-install the same budget on the workers.
+  ResourceGuard BudgetScope(Opts.Budget);
   {
     DPRLE_TRACE_SPAN("process_nodes");
     for (NodeId N : Group) {
-      if (cancelled()) {
-        Result.Cancelled = true;
+      if (interrupted())
         return Result;
-      }
       processNode(N);
     }
   }
   enumerateSolutions();
+  // A budget that tripped on the very last operation (after the final
+  // loop-header poll) must still surface in the result.
+  if (Opts.Budget && Opts.Budget->exhausted())
+    Result.ResourceExhausted = true;
   return Result;
 }
 

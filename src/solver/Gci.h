@@ -36,6 +36,7 @@
 
 #include "automata/Nfa.h"
 #include "solver/DependencyGraph.h"
+#include "support/Budget.h"
 #include "support/Cancellation.h"
 #include "support/Executor.h"
 
@@ -97,6 +98,11 @@ struct GciOptions {
   /// per-combination loop headers. When it fires, the run unwinds with
   /// GciResult::Cancelled set and a partial (possibly empty) solution set.
   const CancellationToken *Cancel = nullptr;
+  /// Optional resource budget (docs/ROBUSTNESS.md), installed as the
+  /// run's ambient ResourceGuard — including inside parallel wave bodies,
+  /// which execute on pool worker threads. When it trips, the run unwinds
+  /// with GciResult::ResourceExhausted set.
+  ResourceBudget *Budget = nullptr;
   /// @}
 };
 
@@ -109,6 +115,11 @@ struct GciResult {
   /// True when GciOptions::Cancel fired mid-run; Solutions is then a
   /// partial answer and must not be interpreted as "unsatisfiable".
   bool Cancelled = false;
+
+  /// True when GciOptions::Budget tripped mid-run: the group's machines
+  /// outgrew their resource budget and the run was abandoned. Like
+  /// Cancelled, this is *not* an unsatisfiability verdict.
+  bool ResourceExhausted = false;
 
   /// \name Stats contributions (merged into SolverStats by the Solver)
   /// @{

@@ -57,6 +57,11 @@ struct SolveResult {
   /// abandoned*, not because unsatisfiability was proven; clients (the
   /// service front end) must report it as cancelled/timeout, not "no".
   bool Cancelled = false;
+  /// True when SolverOptions::Budget tripped mid-solve: the run outgrew
+  /// its resource budget and was abandoned. Like Cancelled, Satisfiable
+  /// is then false without an unsatisfiability proof; the service reports
+  /// it as `resource_exhausted` (docs/ROBUSTNESS.md).
+  bool ResourceExhausted = false;
   std::vector<Assignment> Assignments;
   SolverStats Stats;
 };

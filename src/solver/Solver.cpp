@@ -24,6 +24,9 @@ SolveResult Solver::solveFor(const Problem &P,
 SolveResult Solver::solveImpl(const Problem &P,
                               const std::vector<VarId> *Of) const {
   DPRLE_TRACE_SPAN("solve");
+  // Ambient budget for everything this thread builds; gci runs (including
+  // the ones dispatched to pool workers) re-install it themselves.
+  ResourceGuard BudgetScope(Opts.Budget);
   // Which variables the client cares about (all by default).
   std::vector<bool> Queried(P.numVariables(), Of == nullptr);
   if (Of)
@@ -51,6 +54,17 @@ SolveResult Solver::solveImpl(const Problem &P,
     Result.Cancelled = true;
     return Finish(false);
   };
+  auto Exhausted = [&] { return Opts.Budget && Opts.Budget->exhausted(); };
+  auto FinishExhausted = [&]() -> SolveResult & {
+    Result.ResourceExhausted = true;
+    return Finish(false);
+  };
+  // Loop-header poll: cancellation wins the tie, so a deadline expiring
+  // while the budget trips still reports as timeout.
+  auto Interrupted = [&] { return Cancelled() || Exhausted(); };
+  auto FinishInterrupted = [&]() -> SolveResult & {
+    return Cancelled() ? FinishCancelled() : FinishExhausted();
+  };
 
   // --- Stage 2: reduce acyclic constraints (Figure 7 lines 3-8). ---------
   //
@@ -62,9 +76,14 @@ SolveResult Solver::solveImpl(const Problem &P,
   {
     DPRLE_TRACE_SPAN("reduce");
     for (const SubsetEdge &E : G.subsetEdges()) {
+      if (Interrupted())
+        return FinishInterrupted();
       if (G.kind(E.To) != NodeKind::Constant)
         continue;
       if (!isSubsetOf(G.constantLanguage(E.To), G.constantLanguage(E.From))) {
+        // A truncated (budget-exhausted) subset check proves nothing.
+        if (Exhausted())
+          return FinishExhausted();
         DPRLE_DEBUG_LOG("solver", Os << "constant inclusion " << G.name(E.To)
                                      << " <= " << G.name(E.From)
                                      << " is violated");
@@ -73,8 +92,8 @@ SolveResult Solver::solveImpl(const Problem &P,
     }
 
     for (VarId V = 0; V != P.numVariables(); ++V) {
-      if (Cancelled())
-        return FinishCancelled();
+      if (Interrupted())
+        return FinishInterrupted();
       NodeId N = G.nodeForVariable(V);
       if (G.inAnyConcat(N))
         continue;
@@ -91,6 +110,10 @@ SolveResult Solver::solveImpl(const Problem &P,
       }
       if (Opts.MinimizeIntermediates)
         M = minimized(M);
+      // A machine truncated by the budget can be spuriously empty; unwind
+      // before the emptiness check turns that into a false "unsat".
+      if (Exhausted())
+        return FinishExhausted();
       if (isEmpty(M)) {
         // A maximal satisfying assignment would map V to the empty
         // language; following Figure 7 lines 20-23 that is a failure.
@@ -117,6 +140,7 @@ SolveResult Solver::solveImpl(const Problem &P,
   GOpts.Jobs = Opts.Jobs;
   GOpts.Exec = Opts.Exec;
   GOpts.Cancel = Opts.Cancel;
+  GOpts.Budget = Opts.Budget;
 
   // The groups this solve actually runs (partial solving skips groups with
   // no queried variable).
@@ -148,14 +172,16 @@ SolveResult Solver::solveImpl(const Problem &P,
 
   std::vector<std::map<NodeId, Nfa>> Partials = {{}};
   for (size_t GroupIdx = 0; GroupIdx != Selected.size(); ++GroupIdx) {
-    if (Cancelled())
-      return FinishCancelled();
+    if (Interrupted())
+      return FinishInterrupted();
     DPRLE_TRACE_SPAN("gci_group");
     GciResult GR = ParallelGroups
                        ? std::move(GroupResults[GroupIdx])
                        : solveCiGroup(G, *Selected[GroupIdx], GOpts);
     if (GR.Cancelled)
       return FinishCancelled();
+    if (GR.ResourceExhausted)
+      return FinishExhausted();
     Result.Stats.ConcatsBuilt += GR.ConcatsBuilt;
     Result.Stats.SubsetIntersections += GR.SubsetIntersections;
     Result.Stats.CombinationsTried += GR.CombinationsTried;
@@ -181,6 +207,8 @@ SolveResult Solver::solveImpl(const Problem &P,
   }
 
   // --- Stage 4: assemble assignments (Figure 7 lines 16-23). -------------
+  if (Interrupted())
+    return FinishInterrupted();
   DPRLE_TRACE_SPAN("assemble");
   for (const auto &Partial : Partials) {
     std::vector<Nfa> Languages(P.numVariables());

@@ -62,6 +62,11 @@ struct SolverOptions {
   /// headers and threaded into every gci run. When it fires, solve()
   /// returns Satisfiable = false with SolveResult::Cancelled set.
   const CancellationToken *Cancel = nullptr;
+  /// Optional resource budget (docs/ROBUSTNESS.md): installed as the
+  /// solve's ambient ResourceGuard, charged by every machine the run
+  /// materializes, and threaded into every gci run. When it trips, solve()
+  /// returns Satisfiable = false with SolveResult::ResourceExhausted set.
+  ResourceBudget *Budget = nullptr;
   /// @}
 };
 

@@ -1,0 +1,187 @@
+//===- Budget.h - Per-request resource budgets ------------------*- C++ -*-==//
+///
+/// \file
+/// Resource governance for the decision procedure (docs/ROBUSTNESS.md).
+/// The paper's constructions (products, subset construction, gci
+/// complements) can explode combinatorially from small inputs; a
+/// ResourceBudget caps how much a single request may materialize, and the
+/// hot loops unwind *cooperatively* — exactly like cancellation
+/// (support/Cancellation.h) — into a structured `resource_exhausted`
+/// outcome instead of OOM-killing the process.
+///
+/// Three pieces:
+///
+///  * ResourceLimits / ResourceBudget — the caps and the thread-safe
+///    charge ledger. Charges are relaxed atomics; the first breached
+///    dimension trips a sticky exhausted flag that every loop polls.
+///  * ResourceGuard — RAII installer of the *ambient* budget for the
+///    current thread. The automata/decide kernels charge through
+///    `ResourceGuard::chargeStates(...)` style statics, so the free
+///    functions in NfaOps.h/Decide.h need no signature changes; with no
+///    guard installed the charges are no-ops. Parallel loop bodies
+///    (Executor::parallelFor) run on pool worker threads and must
+///    re-install the guard — see Gci::enumerateParallel.
+///  * BudgetStats — process-wide budget.* counters (StatsRegistry).
+///
+/// Memory accounting is approximate by design: states and transitions are
+/// charged at documented per-unit byte estimates (BytesPerState,
+/// BytesPerTransition), which tracks the dominant allocations (state
+/// vectors, transition lists, subset-construction sets) closely enough to
+/// stop a runaway build long before the allocator fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_BUDGET_H
+#define DPRLE_SUPPORT_BUDGET_H
+
+#include "support/Stats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dprle {
+
+/// Which cap a budget breached first. None = not exhausted.
+enum class BudgetDimension : uint8_t {
+  None = 0,
+  /// Cumulative states materialized across the whole request.
+  States,
+  /// A single machine grew past the per-machine cap (the service routes
+  /// its --max-states admission limit here so it also binds every
+  /// *intermediate* machine a request creates).
+  MachineStates,
+  /// Cumulative transitions materialized.
+  Transitions,
+  /// Approximate bytes (see BytesPerState / BytesPerTransition).
+  Memory,
+};
+
+/// Stable lowercase name of \p D ("states", "machine_states", ...).
+const char *budgetDimensionName(BudgetDimension D);
+
+/// The caps. 0 always means "unlimited" — a default-constructed
+/// ResourceLimits governs nothing.
+struct ResourceLimits {
+  uint64_t MaxStates = 0;
+  uint64_t MaxStatesPerMachine = 0;
+  uint64_t MaxTransitions = 0;
+  uint64_t MaxMemoryBytes = 0;
+
+  bool unlimited() const {
+    return MaxStates == 0 && MaxStatesPerMachine == 0 &&
+           MaxTransitions == 0 && MaxMemoryBytes == 0;
+  }
+};
+
+/// The thread-safe charge ledger for one request. Shared by every thread
+/// working on the request (the solver's parallel stages charge the same
+/// budget); exhaustion is sticky and first-breach-wins.
+class ResourceBudget {
+public:
+  /// Approximate cost model for the Memory dimension.
+  static constexpr uint64_t BytesPerState = 64;
+  static constexpr uint64_t BytesPerTransition = 48;
+
+  ResourceBudget() = default;
+  explicit ResourceBudget(const ResourceLimits &Limits) : Limits(Limits) {}
+
+  ResourceBudget(const ResourceBudget &) = delete;
+  ResourceBudget &operator=(const ResourceBudget &) = delete;
+
+  /// Charges \p N newly materialized states (plus their memory estimate).
+  void chargeStates(uint64_t N = 1);
+  /// Charges \p N newly materialized transitions (plus memory estimate).
+  void chargeTransitions(uint64_t N = 1);
+  /// Charges \p Bytes of approximate auxiliary memory (macro-state sets,
+  /// pair tables, ...).
+  void chargeMemory(uint64_t Bytes);
+  /// Checks a single machine's current size against MaxStatesPerMachine.
+  /// Does not accumulate; call with the machine's running state count.
+  void noteMachineStates(uint64_t NumStates);
+
+  /// Sticky: true once any dimension breached its cap.
+  bool exhausted() const {
+    return Tripped.load(std::memory_order_relaxed) !=
+           static_cast<uint8_t>(BudgetDimension::None);
+  }
+  /// The first dimension that breached (None while !exhausted()).
+  BudgetDimension dimension() const {
+    return static_cast<BudgetDimension>(
+        Tripped.load(std::memory_order_relaxed));
+  }
+
+  uint64_t states() const { return States.load(std::memory_order_relaxed); }
+  uint64_t transitions() const {
+    return Transitions.load(std::memory_order_relaxed);
+  }
+  uint64_t memoryBytes() const {
+    return Bytes.load(std::memory_order_relaxed);
+  }
+  const ResourceLimits &limits() const { return Limits; }
+
+  /// Human-readable diagnosis of the breach, e.g.
+  /// "state budget exhausted (limit 1000, charged 1001)". Empty while the
+  /// budget is intact.
+  std::string describeExhaustion() const;
+
+private:
+  void trip(BudgetDimension D);
+
+  ResourceLimits Limits;
+  std::atomic<uint64_t> States{0};
+  std::atomic<uint64_t> Transitions{0};
+  std::atomic<uint64_t> Bytes{0};
+  std::atomic<uint8_t> Tripped{static_cast<uint8_t>(BudgetDimension::None)};
+};
+
+/// RAII installer of the calling thread's ambient budget. Nested guards
+/// save and restore the previous ambient budget, so re-installing the same
+/// budget on a worker thread (inside a parallelFor body) is cheap and
+/// idempotent. Installing nullptr suspends governance for the scope.
+class ResourceGuard {
+public:
+  explicit ResourceGuard(ResourceBudget *Budget);
+  ~ResourceGuard();
+
+  ResourceGuard(const ResourceGuard &) = delete;
+  ResourceGuard &operator=(const ResourceGuard &) = delete;
+
+  /// The calling thread's ambient budget, or nullptr when ungoverned.
+  static ResourceBudget *current();
+
+  /// Ambient charge helpers for the kernels: no-ops (returning true) with
+  /// no installed budget; otherwise charge and return "still within
+  /// budget". Loop headers poll exhausted() and unwind when false.
+  static bool chargeStates(uint64_t N = 1);
+  static bool chargeTransitions(uint64_t N = 1);
+  static bool chargeMemory(uint64_t Bytes);
+  static bool chargeMachine(uint64_t NumStates);
+  static bool exhausted();
+
+private:
+  ResourceBudget *Previous;
+};
+
+/// Process-wide budget.* counters (registered with StatsRegistry; names in
+/// docs/OBSERVABILITY.md). Charge totals aggregate over every budget in
+/// the process; the request counters are bumped by the service front end.
+struct BudgetStats {
+  RelaxedCounter StatesCharged;
+  RelaxedCounter TransitionsCharged;
+  RelaxedCounter MemoryBytesCharged;
+  /// Times any budget tripped (one per exhausted budget, not per charge).
+  RelaxedCounter BudgetsExhausted;
+  /// Requests answered with `resource_exhausted`.
+  RelaxedCounter RequestsExhausted;
+  /// Requests shed with `overloaded` before scheduling.
+  RelaxedCounter RequestsShed;
+  /// Requests that declared themselves retries (a `retry` >= 1 param).
+  RelaxedCounter RequestsRetried;
+
+  static BudgetStats &global();
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_BUDGET_H

@@ -1,0 +1,88 @@
+//===- FaultInjector.cpp - Deterministic fault injection ----------------------//
+
+#include "support/FaultInjector.h"
+
+#include <cstdlib>
+
+using namespace dprle;
+
+namespace {
+
+struct RegisterFaultStats {
+  RegisterFaultStats() {
+    StatsRegistry::global().registerCounter("fault.injected",
+                                            &FaultStats::global().Injected);
+  }
+};
+RegisterFaultStats RegisterFaultStatsInit;
+
+} // namespace
+
+FaultStats &FaultStats::global() {
+  static FaultStats Stats;
+  return Stats;
+}
+
+bool FaultInjector::arm(const std::string &Spec) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ArmedFlag.store(false, std::memory_order_release);
+  Site.clear();
+  Nth = 0;
+  Hits = 0;
+  if (Spec.empty())
+    return true;
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 == Spec.size())
+    return false;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Spec.c_str() + Colon + 1, &End, 10);
+  if (!End || *End != '\0' || N == 0)
+    return false;
+  Site = Spec.substr(0, Colon);
+  Nth = N;
+  ArmedFlag.store(true, std::memory_order_release);
+  return true;
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ArmedFlag.store(false, std::memory_order_release);
+  Site.clear();
+  Nth = 0;
+  Hits = 0;
+}
+
+std::string FaultInjector::armedSite() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ArmedFlag.load(std::memory_order_relaxed) ? Site : std::string();
+}
+
+bool FaultInjector::shouldFail(const char *SiteName) {
+  if (!ArmedFlag.load(std::memory_order_acquire))
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!ArmedFlag.load(std::memory_order_relaxed) || Site != SiteName)
+    return false;
+  if (++Hits != Nth)
+    return false;
+  FaultStats::global().Injected++;
+  return true;
+}
+
+std::vector<std::string> FaultInjector::knownSites() {
+  return {"alloc.intersect",      "alloc.determinize",
+          "alloc.embed",          "alloc.decide.product",
+          "alloc.decide.subset",  "queue.submit",
+          "cancel.arm",           "io.write"};
+}
+
+FaultInjector &FaultInjector::global() {
+  static FaultInjector Injector;
+  static std::once_flag EnvOnce;
+  std::call_once(EnvOnce, [] {
+    if (const char *Spec = std::getenv("DPRLE_FAULT"))
+      Injector.arm(Spec);
+  });
+  return Injector;
+}

@@ -1,0 +1,90 @@
+//===- FaultInjector.h - Deterministic fault injection ----------*- C++ -*-==//
+///
+/// \file
+/// Reproducible failure injection for the chaos suite
+/// (docs/ROBUSTNESS.md). A fault is armed as `<site>:<nth>` — the nth
+/// execution of the named site fails, every other execution is untouched —
+/// via the DPRLE_FAULT environment variable, the `dprle serve --fault`
+/// flag, or programmatically from tests. Exactly one fault is armed at a
+/// time, and it fires exactly once (hit counts keep advancing past nth),
+/// so a test arms `io.write:1`, drives the service, and asserts that the
+/// one injected failure produced a structured error while the service kept
+/// serving.
+///
+/// Sites are string constants checked at the instrumentation point, one
+/// per failure class the service must survive:
+///
+///   alloc.intersect / alloc.determinize / alloc.embed /
+///   alloc.decide.product / alloc.decide.subset
+///       — allocation failure inside a kernel construction; the
+///         instrumented code throws std::bad_alloc.
+///   queue.submit — the scheduler queue rejects the request; the serve
+///         loop sheds it with `overloaded` + retry_after_ms.
+///   cancel.arm — arming the request deadline fails; answered as
+///         `internal_error`.
+///   io.write — one response write is dropped; the loop keeps serving.
+///
+/// The hot-path cost when disarmed is one relaxed atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SUPPORT_FAULTINJECTOR_H
+#define DPRLE_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Stats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dprle {
+
+class FaultInjector {
+public:
+  /// Arms \p Spec = "<site>:<nth>" (nth is 1-based). Resets the hit
+  /// counter so the nth occurrence *after arming* fails. An empty spec
+  /// disarms. Returns false (and disarms) on a malformed spec or nth < 1.
+  bool arm(const std::string &Spec);
+
+  /// Disarms; subsequent shouldFail calls are free of effect.
+  void disarm();
+
+  bool armed() const {
+    return ArmedFlag.load(std::memory_order_acquire);
+  }
+  /// The armed site name (empty when disarmed).
+  std::string armedSite() const;
+
+  /// True exactly when this execution of \p Site is the armed nth hit —
+  /// the caller must then fail the way its site class prescribes (throw
+  /// std::bad_alloc at alloc.* sites, shed at queue.submit, ...).
+  bool shouldFail(const char *Site);
+
+  /// Every instrumented site name, for sweeps and docs.
+  static std::vector<std::string> knownSites();
+
+  /// The process-wide injector. Reads DPRLE_FAULT once on first use;
+  /// tests may re-arm programmatically at any time.
+  static FaultInjector &global();
+
+private:
+  std::atomic<bool> ArmedFlag{false};
+  mutable std::mutex Mutex;
+  std::string Site;
+  uint64_t Nth = 0;
+  uint64_t Hits = 0;
+};
+
+/// Process-wide fault.* counters (StatsRegistry).
+struct FaultStats {
+  /// Faults actually injected (shouldFail returned true).
+  RelaxedCounter Injected;
+
+  static FaultStats &global();
+};
+
+} // namespace dprle
+
+#endif // DPRLE_SUPPORT_FAULTINJECTOR_H

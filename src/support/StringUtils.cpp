@@ -3,6 +3,7 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 
 using namespace dprle;
@@ -99,4 +100,45 @@ long dprle::parseDecimal(const std::string &Str, size_t &Pos) {
     ++Pos;
   }
   return Value;
+}
+
+bool dprle::isValidUtf8(const std::string &Str) {
+  const unsigned char *P =
+      reinterpret_cast<const unsigned char *>(Str.data());
+  const unsigned char *End = P + Str.size();
+  while (P != End) {
+    unsigned char Lead = *P;
+    if (Lead < 0x80) {
+      ++P;
+      continue;
+    }
+    unsigned Len;
+    uint32_t Code;
+    if ((Lead & 0xE0) == 0xC0) {
+      Len = 2;
+      Code = Lead & 0x1F;
+    } else if ((Lead & 0xF0) == 0xE0) {
+      Len = 3;
+      Code = Lead & 0x0F;
+    } else if ((Lead & 0xF8) == 0xF0) {
+      Len = 4;
+      Code = Lead & 0x07;
+    } else {
+      return false; // Continuation byte or 0xF8+ lead.
+    }
+    if (static_cast<size_t>(End - P) < Len)
+      return false;
+    for (unsigned I = 1; I != Len; ++I) {
+      if ((P[I] & 0xC0) != 0x80)
+        return false;
+      Code = (Code << 6) | (P[I] & 0x3F);
+    }
+    if ((Len == 2 && Code < 0x80) || (Len == 3 && Code < 0x800) ||
+        (Len == 4 && Code < 0x10000))
+      return false; // Overlong encoding.
+    if (Code > 0x10FFFF || (Code >= 0xD800 && Code <= 0xDFFF))
+      return false;
+    P += Len;
+  }
+  return true;
 }

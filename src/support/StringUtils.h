@@ -38,6 +38,13 @@ bool isRegexMetaChar(unsigned char C);
 /// advancing \p Pos past the digits. Returns -1 if no digit is present.
 long parseDecimal(const std::string &Str, size_t &Pos);
 
+/// Strict UTF-8 validation: true iff \p Str is a well-formed UTF-8 byte
+/// sequence (rejects overlong encodings, surrogates, and code points past
+/// U+10FFFF). The service validates request lines with this before any
+/// byte of them can be echoed into an NDJSON response (the JSON writer
+/// passes bytes >= 0x80 through verbatim).
+bool isValidUtf8(const std::string &Str);
+
 } // namespace dprle
 
 #endif // DPRLE_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,322 @@
+//===- BudgetTest.cpp - Resource-budget tests ---------------------------------//
+//
+// Covers support/Budget.h (docs/ROBUSTNESS.md): the charge/trip semantics
+// of ResourceBudget, the ambient ResourceGuard, and the cooperative
+// unwinding of every guarded kernel site — intersect, determinize, the
+// decide searches, symbolic execution, and the full solver pipeline —
+// including the disambiguation of resource exhaustion from cancellation
+// and the decision-cache anti-poisoning rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include "automata/Decide.h"
+#include "automata/NfaOps.h"
+#include "miniphp/Cfg.h"
+#include "miniphp/Parser.h"
+#include "miniphp/SymExec.h"
+#include "regex/RegexCompiler.h"
+#include "regex/RegexParser.h"
+#include "solver/ConstraintParser.h"
+#include "solver/Solver.h"
+#include "support/Cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace dprle;
+
+namespace {
+
+Nfa machineFor(const std::string &Pattern) {
+  RegexParseResult R = parseRegexExtended(Pattern);
+  EXPECT_TRUE(R.ok()) << Pattern;
+  return compileRegex(*R.Ast);
+}
+
+/// A machine whose determinization needs ~2^(N+1) macro states.
+Nfa blowupMachine(unsigned N) {
+  return machineFor("(a|b)*a(a|b){" + std::to_string(N) + "}");
+}
+
+ResourceLimits statesLimit(uint64_t Max) {
+  ResourceLimits L;
+  L.MaxStates = Max;
+  return L;
+}
+
+uint64_t counterValue(const char *Name) {
+  for (const auto &[N, V] : StatsRegistry::global().snapshot())
+    if (N == Name)
+      return V;
+  ADD_FAILURE() << "counter " << Name << " is not registered";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// ResourceBudget / ResourceGuard unit semantics
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, ChargesAccumulateAndTripAboveTheLimit) {
+  ResourceBudget B(statesLimit(10));
+  B.chargeStates(10); // Exactly at the limit: still within budget.
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.dimension(), BudgetDimension::None);
+  EXPECT_EQ(B.describeExhaustion(), "");
+
+  B.chargeStates(1); // One past: trips, stickily.
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.dimension(), BudgetDimension::States);
+  EXPECT_EQ(B.states(), 11u);
+  EXPECT_NE(B.describeExhaustion().find("state budget"), std::string::npos);
+
+  // Later charges on other dimensions do not change the first breach.
+  B.chargeTransitions(1);
+  EXPECT_EQ(B.dimension(), BudgetDimension::States);
+}
+
+TEST(BudgetTest, EachDimensionTripsIndependently) {
+  {
+    ResourceLimits L;
+    L.MaxTransitions = 3;
+    ResourceBudget B(L);
+    B.chargeTransitions(4);
+    EXPECT_EQ(B.dimension(), BudgetDimension::Transitions);
+  }
+  {
+    ResourceLimits L;
+    L.MaxMemoryBytes = 100;
+    ResourceBudget B(L);
+    B.chargeMemory(101);
+    EXPECT_EQ(B.dimension(), BudgetDimension::Memory);
+  }
+  {
+    ResourceLimits L;
+    L.MaxStatesPerMachine = 4;
+    ResourceBudget B(L);
+    B.noteMachineStates(4); // At the limit: fine (does not accumulate).
+    EXPECT_FALSE(B.exhausted());
+    B.noteMachineStates(5);
+    EXPECT_EQ(B.dimension(), BudgetDimension::MachineStates);
+  }
+}
+
+TEST(BudgetTest, StateChargesCountTowardTheMemoryEstimate) {
+  ResourceLimits L;
+  L.MaxMemoryBytes = 10 * ResourceBudget::BytesPerState;
+  ResourceBudget B(L);
+  B.chargeStates(11);
+  EXPECT_EQ(B.dimension(), BudgetDimension::Memory);
+}
+
+TEST(BudgetTest, GuardInstallsRestoresAndNests) {
+  EXPECT_EQ(ResourceGuard::current(), nullptr);
+  // No ambient budget: charges are no-ops that report "within budget".
+  EXPECT_TRUE(ResourceGuard::chargeStates(1000));
+  EXPECT_FALSE(ResourceGuard::exhausted());
+
+  ResourceBudget B(statesLimit(5));
+  {
+    ResourceGuard Guard(&B);
+    EXPECT_EQ(ResourceGuard::current(), &B);
+    {
+      // Installing nullptr suspends governance for the scope.
+      ResourceGuard Suspend(nullptr);
+      EXPECT_EQ(ResourceGuard::current(), nullptr);
+      EXPECT_TRUE(ResourceGuard::chargeStates(1000));
+    }
+    EXPECT_EQ(ResourceGuard::current(), &B);
+    EXPECT_FALSE(ResourceGuard::chargeStates(6)); // Trips.
+    EXPECT_TRUE(ResourceGuard::exhausted());
+  }
+  EXPECT_EQ(ResourceGuard::current(), nullptr);
+  EXPECT_FALSE(ResourceGuard::exhausted()); // Ambient again ungoverned.
+  EXPECT_TRUE(B.exhausted());               // The budget itself stays tripped.
+}
+
+TEST(BudgetTest, ChargesFeedTheGlobalCounters) {
+  uint64_t Before = counterValue("budget.states_charged");
+  ResourceBudget B; // Unlimited.
+  B.chargeStates(7);
+  uint64_t After = counterValue("budget.states_charged");
+  EXPECT_GE(After - Before, 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Guarded kernel sites unwind cooperatively
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, IntersectUnwindsUnderStateBudget) {
+  Nfa A = machineFor("(a|b){10}");
+  Nfa B = blowupMachine(5);
+  Nfa Full = intersect(A, B); // Ungoverned reference.
+  ASSERT_GT(Full.numStates(), 8u);
+
+  ResourceBudget Budget(statesLimit(8));
+  ResourceGuard Guard(&Budget);
+  Nfa Truncated = intersect(A, B);
+  EXPECT_TRUE(Budget.exhausted());
+  EXPECT_EQ(Budget.dimension(), BudgetDimension::States);
+  EXPECT_LT(Truncated.numStates(), Full.numStates());
+}
+
+TEST(BudgetTest, IntersectTripsThePerMachineLimit) {
+  ResourceLimits L;
+  L.MaxStatesPerMachine = 8;
+  ResourceBudget Budget(L);
+  ResourceGuard Guard(&Budget);
+  (void)intersect(machineFor("(a|b){10}"), blowupMachine(5));
+  EXPECT_TRUE(Budget.exhausted());
+  EXPECT_EQ(Budget.dimension(), BudgetDimension::MachineStates);
+}
+
+TEST(BudgetTest, DeterminizeUnwindsToANonAcceptingSink) {
+  Nfa M = blowupMachine(8); // ~2^9 macro states ungoverned.
+  ResourceBudget Budget(statesLimit(16));
+  ResourceGuard Guard(&Budget);
+  Dfa D = determinize(M);
+  EXPECT_TRUE(Budget.exhausted());
+  // The truncated result is a well-formed complete DFA accepting nothing —
+  // never a table with invalid rows.
+  EXPECT_EQ(D.numStates(), 1u);
+  EXPECT_TRUE(D.languageIsEmpty());
+  EXPECT_FALSE(D.accepts("aaaaaaaaaa"));
+}
+
+TEST(BudgetTest, DecideQueriesUnwindWithoutPoisoningTheCache) {
+  // L(A) is NOT a subset of L(B). The antichain search reports "subset"
+  // when it unwinds before finding the counterexample, so a poisoned
+  // cache would keep answering wrongly forever.
+  Nfa A = machineFor("aaaa");
+  Nfa B = machineFor("b*");
+
+  ResourceLimits L;
+  L.MaxMemoryBytes = 1;
+  ResourceBudget Budget(L);
+  Budget.chargeMemory(2); // Pre-tripped: the query unwinds immediately.
+  {
+    ResourceGuard Guard(&Budget);
+    (void)subsetOf(A, B);
+    (void)emptyIntersection(A, B);
+    EXPECT_TRUE(Budget.exhausted());
+  }
+
+  // Ungoverned re-query computes fresh, correct answers: the truncated
+  // results were not stored.
+  EXPECT_FALSE(subsetOf(A, B));
+  EXPECT_FALSE(emptyIntersection(A, A));
+}
+
+TEST(BudgetTest, SymExecReportsExhaustionWithTruncatedPaths) {
+  const char *Source = R"php(<?php
+$id = $_POST['id'];
+$q = query("SELECT * FROM t WHERE id=" . $id);
+?>)php";
+  miniphp::ParseResult R = miniphp::parseProgram(Source);
+  ASSERT_TRUE(R.Ok);
+  miniphp::Cfg G = miniphp::Cfg::build(R.Prog);
+
+  ResourceLimits L;
+  L.MaxMemoryBytes = 1;
+  ResourceBudget Budget(L);
+  Budget.chargeMemory(2); // Pre-tripped.
+  miniphp::SymExecOptions Opts;
+  Opts.Budget = &Budget;
+  miniphp::SymExecResult SR =
+      miniphp::runSymExec(R.Prog, G, miniphp::AttackSpec::sqlQuote(), Opts);
+  EXPECT_TRUE(SR.ResourceExhausted);
+  EXPECT_TRUE(SR.Paths.empty());
+
+  // Ungoverned, the same program yields its sink path.
+  miniphp::SymExecResult Full =
+      miniphp::runSymExec(R.Prog, G, miniphp::AttackSpec::sqlQuote());
+  EXPECT_FALSE(Full.ResourceExhausted);
+  EXPECT_EQ(Full.Paths.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver pipeline: exhaustion vs cancellation vs unsat
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, SolverReportsResourceExhaustedNotUnsat) {
+  // Small operands, exploding construction: the complement of the RHS
+  // determinizes to ~2^11 states, far past the 200-state budget.
+  ConstraintParseResult Parsed = parseConstraintText(
+      "var v; var w; v . w <= /(a|b)*a(a|b){10}/;");
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+
+  ResourceBudget Budget(statesLimit(200));
+  SolverOptions Opts;
+  Opts.Budget = &Budget;
+  SolveResult R = Solver(Opts).solve(Parsed.Instance);
+  EXPECT_TRUE(R.ResourceExhausted);
+  EXPECT_FALSE(R.Cancelled);
+  // Satisfiable=false here means "abandoned", not a proof — the flag is
+  // what tells the two apart.
+  EXPECT_FALSE(R.Satisfiable);
+}
+
+TEST(BudgetTest, CancellationWinsOverExhaustionInTheTieBreak) {
+  ConstraintParseResult Parsed =
+      parseConstraintText("var v; v <= /a*/;");
+  ASSERT_TRUE(Parsed.Ok);
+
+  CancellationToken Token;
+  Token.cancel();
+  ResourceBudget Budget(statesLimit(1));
+  Budget.chargeStates(2); // Both conditions hold before the solve starts.
+  SolverOptions Opts;
+  Opts.Budget = &Budget;
+  Opts.Cancel = &Token;
+  SolveResult R = Solver(Opts).solve(Parsed.Instance);
+  EXPECT_TRUE(R.Cancelled);
+  EXPECT_FALSE(R.ResourceExhausted);
+}
+
+TEST(BudgetTest, GenerousBudgetLeavesTheSolveUntouched) {
+  ConstraintParseResult Parsed = parseConstraintText(
+      "var v1; v1 <= /ab*/; \"x\" . v1 <= /xab*/;");
+  ASSERT_TRUE(Parsed.Ok);
+
+  SolveResult Reference = Solver().solve(Parsed.Instance);
+  ASSERT_TRUE(Reference.Satisfiable);
+
+  ResourceLimits L;
+  L.MaxStates = 1 << 20;
+  L.MaxTransitions = 1 << 20;
+  L.MaxMemoryBytes = uint64_t(1) << 30;
+  ResourceBudget Budget(L);
+  SolverOptions Opts;
+  Opts.Budget = &Budget;
+  SolveResult R = Solver(Opts).solve(Parsed.Instance);
+  EXPECT_FALSE(R.ResourceExhausted);
+  EXPECT_TRUE(R.Satisfiable);
+  EXPECT_EQ(R.Assignments.size(), Reference.Assignments.size());
+  EXPECT_GT(Budget.states(), 0u); // The kernels really were charging it.
+}
+
+TEST(BudgetTest, ExhaustionLeavesNoResidueForTheNextSolve) {
+  ConstraintParseResult Pathological = parseConstraintText(
+      "var v; var w; v . w <= /(a|b)*a(a|b){10}/;");
+  ASSERT_TRUE(Pathological.Ok);
+  ConstraintParseResult Small =
+      parseConstraintText("var v1; v1 <= /ab*/; \"x\" . v1 <= /xab*/;");
+  ASSERT_TRUE(Small.Ok);
+
+  {
+    ResourceBudget Budget(statesLimit(200));
+    SolverOptions Opts;
+    Opts.Budget = &Budget;
+    ASSERT_TRUE(Solver(Opts).solve(Pathological.Instance).ResourceExhausted);
+  }
+  // The ambient guard was restored and no truncated answer was cached:
+  // a fresh, ungoverned solve on the same thread behaves normally.
+  EXPECT_EQ(ResourceGuard::current(), nullptr);
+  SolveResult After = Solver().solve(Small.Instance);
+  EXPECT_TRUE(After.Satisfiable);
+  EXPECT_FALSE(After.ResourceExhausted);
+}
+
+} // namespace

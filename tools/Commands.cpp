@@ -21,6 +21,7 @@
 #include "service/ThreadPool.h"
 #include "solver/ConstraintParser.h"
 #include "solver/Solver.h"
+#include "support/FaultInjector.h"
 #include "support/Json.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -239,8 +240,12 @@ void printUsage(std::ostream &Err) {
          "file\n"
       << "  dprle corpus <output-directory>\n"
       << "  dprle serve [--jobs=N] [--deadline-ms=D] [--max-states=N]\n"
+      << "              [--max-states-budget=N] [--max-transitions-budget=N]\n"
+      << "              [--max-memory-bytes=N] [--max-queue=N]\n"
+      << "              [--retry-after-ms=D] [--fault=<site>:<nth>]\n"
       << "     NDJSON requests on stdin, one response line each; see\n"
-      << "     docs/SERVICE.md for the protocol\n";
+      << "     docs/SERVICE.md for the protocol and docs/ROBUSTNESS.md\n"
+      << "     for budgets, backpressure, and fault injection\n";
 }
 
 } // namespace
@@ -722,6 +727,35 @@ int dprle::tools::runServe(const std::vector<std::string> &Args,
       if (!parseUnsignedOption(Arg, "--max-states=", Value, Err))
         return 2;
       Opts.MaxNfaStates = Value;
+    } else if (Arg.rfind("--max-states-budget=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--max-states-budget=", Value, Err))
+        return 2;
+      Opts.MaxStatesBudget = Value;
+    } else if (Arg.rfind("--max-transitions-budget=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--max-transitions-budget=", Value, Err))
+        return 2;
+      Opts.MaxTransitionsBudget = Value;
+    } else if (Arg.rfind("--max-memory-bytes=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--max-memory-bytes=", Value, Err))
+        return 2;
+      Opts.MaxMemoryBytes = Value;
+    } else if (Arg.rfind("--max-queue=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--max-queue=", Value, Err))
+        return 2;
+      Opts.MaxQueueDepth = Value;
+    } else if (Arg.rfind("--retry-after-ms=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--retry-after-ms=", Value, Err))
+        return 2;
+      Opts.RetryAfterMsHint = Value;
+    } else if (Arg.rfind("--fault=", 0) == 0) {
+      // Same spec as the DPRLE_FAULT env var; the flag wins when both
+      // are given (it arms later).
+      std::string Spec = Arg.substr(std::char_traits<char>::length("--fault="));
+      if (!FaultInjector::global().arm(Spec)) {
+        Err << "error: --fault= expects <site>:<nth>, e.g. io.write:1 "
+               "(see docs/ROBUSTNESS.md)\n";
+        return 2;
+      }
     } else {
       Err << "error: unknown option " << Arg << "\n";
       return 2;

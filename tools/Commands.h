@@ -12,7 +12,11 @@
 ///   dprle automata <op> <machine...>             automata calculator
 ///   dprle corpus <directory>                     dump the Fig. 11 corpus
 ///   dprle serve [--jobs=N] [--deadline-ms=D] [--max-states=N]
-///                                                NDJSON solving service
+///               [--max-states-budget=N] [--max-transitions-budget=N]
+///               [--max-memory-bytes=N] [--max-queue=N] [--retry-after-ms=D]
+///               [--fault=<site>:<nth>]              NDJSON solving service
+///                (budget/backpressure/fault-injection knobs are documented
+///                in docs/ROBUSTNESS.md)
 ///
 /// `solve`, `analyze`, and `taint` additionally accept
 /// `--stats=<file.json>` and `--trace=<file.json>`, which emit
