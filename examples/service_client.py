@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Minimal NDJSON client for `dprle serve` (docs/SERVICE.md).
+"""Minimal NDJSON client for `dprle serve` (docs/PROTOCOL.md).
 
-Spawns the service as a subprocess, submits a batch of requests, and
-correlates responses by id (the service answers in *completion* order,
-so responses can arrive out of request order at --jobs > 1).
+Three interchangeable transports carry the same wire protocol:
+
+ * subprocess (default): spawns the service and speaks over its
+   stdin/stdout pipes;
+ * --connect HOST:PORT: TCP, to a server started with --listen;
+ * --unix PATH: Unix-domain socket, to a server started with
+   --unix-socket.
+
+Submits a batch of requests and correlates responses by id (the service
+answers in *completion* order, so responses can arrive out of request
+order at --jobs > 1 and always can over a socket).
 
 Demonstrates the robustness protocol (docs/ROBUSTNESS.md):
 
  * requests shed with `overloaded` are retried with exponential backoff
    plus jitter, honoring the server's retry_after_ms hint and marking
-   each resend with a `retry` attempt counter;
+   each resend with a `retry` attempt counter — the same code path
+   recovers from per-connection sheds (--max-inflight) and from shard
+   worker crashes behind a --shards router (docs/DEPLOYMENT.md);
  * a pathological solve carrying a small max_states budget is answered
    with `resource_exhausted` (a final verdict — retrying cannot help);
  * a malformed line gets a structured parse_error, not a dead server.
@@ -17,10 +27,13 @@ Demonstrates the robustness protocol (docs/ROBUSTNESS.md):
 Standard library only. Usage:
 
     python3 examples/service_client.py [path/to/dprle] [--jobs=N]
+    python3 examples/service_client.py --connect 127.0.0.1:8370
+    python3 examples/service_client.py --unix /run/dprle.sock
 """
 
 import json
 import random
+import socket
 import subprocess
 import sys
 import time
@@ -40,6 +53,75 @@ PATHOLOGICAL = "var v; var w; v . w <= /(a|b)*a(a|b){10}/;"
 
 MAX_ATTEMPTS = 5
 BASE_BACKOFF_S = 0.05
+
+
+class SubprocessTransport:
+    """Spawns `dprle serve` and speaks NDJSON over its pipes."""
+
+    def __init__(self, binary, jobs):
+        self.proc = subprocess.Popen(
+            [binary, "serve", jobs, "--max-queue=4"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+
+    def send_line(self, line):
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+
+    def read_line(self):
+        return self.proc.stdout.readline()
+
+    def finish(self):
+        """Half-closes the request side and drains remaining responses."""
+        self.proc.stdin.close()
+        for line in self.proc.stdout:
+            yield line
+
+    def wait(self):
+        return self.proc.wait()
+
+
+class SocketTransport:
+    """Connects to a running server over TCP or a Unix-domain socket."""
+
+    def __init__(self, address, timeout_s=30.0):
+        if isinstance(address, tuple):
+            self.sock = socket.create_connection(address, timeout=timeout_s)
+        else:
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.settimeout(timeout_s)
+            self.sock.connect(address)
+        self.stream = self.sock.makefile("rw", encoding="utf-8",
+                                         newline="\n")
+
+    def send_line(self, line):
+        self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def read_line(self):
+        try:
+            return self.stream.readline()
+        except (socket.timeout, OSError):
+            return ""
+
+    def finish(self):
+        """Half-closes the request side and drains remaining responses."""
+        try:
+            self.sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        while True:
+            line = self.read_line()
+            if not line:
+                break
+            yield line
+        self.stream.close()
+        self.sock.close()
+
+    def wait(self):
+        return 0
 
 
 def demo_requests():
@@ -66,27 +148,40 @@ def backoff_seconds(attempt, retry_after_ms):
     return delay * random.uniform(0.75, 1.25)
 
 
-def main():
+def parse_transport(argv):
     binary = "./build/tools/dprle"
     jobs = "--jobs=2"
-    for arg in sys.argv[1:]:
+    connect = None
+    unix = None
+    it = iter(argv)
+    for arg in it:
         if arg.startswith("--jobs="):
             jobs = arg
+        elif arg == "--connect":
+            connect = next(it, None)
+        elif arg.startswith("--connect="):
+            connect = arg.split("=", 1)[1]
+        elif arg == "--unix":
+            unix = next(it, None)
+        elif arg.startswith("--unix="):
+            unix = arg.split("=", 1)[1]
         else:
             binary = arg
+    if connect:
+        host, _, port = connect.rpartition(":")
+        return SocketTransport((host or "127.0.0.1", int(port)))
+    if unix:
+        return SocketTransport(unix)
+    return SubprocessTransport(binary, jobs)
 
-    proc = subprocess.Popen(
-        [binary, "serve", jobs, "--max-queue=4"],
-        stdin=subprocess.PIPE,
-        stdout=subprocess.PIPE,
-        text=True,
-    )
+
+def main():
+    transport = parse_transport(sys.argv[1:])
 
     def send(obj_or_line):
         line = (obj_or_line if isinstance(obj_or_line, str)
                 else json.dumps(obj_or_line))
-        proc.stdin.write(line + "\n")
-        proc.stdin.flush()
+        transport.send_line(line)
 
     requests = demo_requests()
     params_by_id = {}
@@ -104,7 +199,7 @@ def main():
     by_id = {}
     pending = set(params_by_id)
     while pending:
-        line = proc.stdout.readline()
+        line = transport.read_line()
         if not line:
             break  # Server went away; report what we have.
         line = line.strip()
@@ -138,9 +233,8 @@ def main():
         pending.discard(rid)
 
     send({"id": "bye", "method": "shutdown"})
-    proc.stdin.close()
     shutdown_ok = False
-    for line in proc.stdout:
+    for line in transport.finish():
         line = line.strip()
         if not line:
             continue
@@ -181,7 +275,7 @@ def main():
 
     print("shutdown acknowledged" if shutdown_ok
           else "shutdown NOT acknowledged")
-    return proc.wait()
+    return transport.wait()
 
 
 if __name__ == "__main__":

@@ -376,6 +376,17 @@ uint32_t internEncoding(std::unordered_map<std::string, uint32_t> &Machines,
 
 } // namespace
 
+uint64_t dprle::structuralHash(const Nfa &M) {
+  // FNV-1a, 64-bit: cheap, dependency-free, and identical in every
+  // process — std::hash makes no such promise.
+  uint64_t H = 14695981039346656037ull;
+  for (unsigned char C : encodeMachine(M)) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
 void DecisionCache::setEnabled(bool E) {
   assert(!parallelRegionActive() &&
          "DecisionCache::setEnabled while a parallel region is active");

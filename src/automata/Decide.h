@@ -177,6 +177,14 @@ private:
   std::atomic<bool> Enabled{true};
 };
 
+/// A deterministic structural fingerprint of \p M: FNV-1a over the same
+/// marker-free encoding the DecisionCache interns, so two machines hash
+/// equal iff they would share cache entries. Stable across processes
+/// (unlike std::hash) — the shard router (service/Router.h) uses it to
+/// pin structurally identical queries to the same worker, keeping that
+/// worker's cache hot.
+uint64_t structuralHash(const Nfa &M);
+
 /// True iff L(Lhs) ∩ L(Rhs) = ∅. Never materializes the product machine.
 bool emptyIntersection(const Nfa &Lhs, const Nfa &Rhs);
 

@@ -1,0 +1,138 @@
+//===- Connection.cpp - One NDJSON client connection --------------------------//
+
+#include "service/Connection.h"
+
+#include "support/Budget.h"
+#include "support/FaultInjector.h"
+
+#include <sys/socket.h>
+
+using namespace dprle;
+using namespace dprle::service;
+
+namespace {
+
+struct RegisterFrontEndStats {
+  RegisterFrontEndStats() {
+    StatsRegistry &R = StatsRegistry::global();
+    FrontEndStats &S = FrontEndStats::global();
+    R.registerCounter("service.connections_accepted", &S.ConnectionsAccepted);
+    R.registerCounter("service.connections_closed", &S.ConnectionsClosed);
+    R.registerCounter("service.socket_requests", &S.SocketRequests);
+    R.registerCounter("service.responses_dropped", &S.ResponsesDropped);
+    R.registerCounter("service.connection_shed", &S.ConnectionShed);
+  }
+};
+RegisterFrontEndStats RegisterFrontEndStatsInit;
+
+} // namespace
+
+FrontEndStats &FrontEndStats::global() {
+  static FrontEndStats Stats;
+  return Stats;
+}
+
+Connection::Connection(OwnedFd ClientFd, LineHandler &Handler,
+                       const ConnectionOptions &Opts,
+                       std::function<void()> OnShutdown)
+    : ClientFd(std::move(ClientFd)), Handler(Handler), Opts(Opts),
+      OnShutdown(std::move(OnShutdown)) {
+  ++FrontEndStats::global().ConnectionsAccepted;
+}
+
+Connection::~Connection() {
+  join();
+  ++FrontEndStats::global().ConnectionsClosed;
+}
+
+void Connection::start() {
+  auto Self = shared_from_this();
+  Reader = std::thread([Self] { Self->readLoop(); });
+}
+
+void Connection::stopReading() {
+  StopRequested.store(true, std::memory_order_release);
+  // SHUT_RD unblocks a read() parked in the framing loop; pending
+  // responses still go out over the write side until the object dies.
+  if (ClientFd.valid())
+    ::shutdown(ClientFd.get(), SHUT_RD);
+}
+
+void Connection::join() {
+  if (Reader.joinable())
+    Reader.join();
+}
+
+void Connection::readLoop() {
+  FdLineReader Lines(ClientFd.get());
+  for (;;) {
+    std::optional<std::string> Line = Lines.readLine();
+    if (!Line)
+      break;
+    if (Line->find_first_not_of(" \t\r") == std::string::npos)
+      continue; // Blank keep-alive lines are ignored.
+    handleLine(*Line);
+    if (StopRequested.load(std::memory_order_acquire))
+      break;
+  }
+  if (Lines.failed() && !StopRequested.load(std::memory_order_acquire))
+    // An oversized line or a mid-line reset: tell the client (best
+    // effort) before the connection winds down.
+    writeResponse(makeError(Json(), ErrorCode::ParseError,
+                            "request line too long or stream corrupted"));
+  Done.store(true, std::memory_order_release);
+}
+
+void Connection::handleLine(const std::string &Line) {
+  ++FrontEndStats::global().SocketRequests;
+
+  // Per-connection admission control: cap this client's outstanding
+  // requests. Pings stay exempt (liveness probes must answer under
+  // load); the id for the shed response comes from a throwaway parse.
+  if (Opts.MaxInflight != 0 &&
+      Inflight.load(std::memory_order_relaxed) >= Opts.MaxInflight) {
+    RequestParse P = parseRequest(Line);
+    if (!P.ok() || P.Req->Method != "ping") {
+      ++FrontEndStats::global().ConnectionShed;
+      ++BudgetStats::global().RequestsShed;
+      Json Details = Json::object();
+      Details["retry_after_ms"] = Opts.RetryAfterMsHint;
+      writeResponse(makeError(P.ok() ? P.Req->Id : P.Id,
+                              ErrorCode::Overloaded,
+                              "connection has too many requests in "
+                              "flight; retry after backoff",
+                              Details));
+      return;
+    }
+  }
+
+  Inflight.fetch_add(1, std::memory_order_relaxed);
+  auto Self = shared_from_this();
+  LineHandler::Submit S =
+      Handler.submitLine(Line, [Self](const Json &Resp) {
+        Self->writeResponse(Resp);
+        Self->Inflight.fetch_sub(1, std::memory_order_relaxed);
+      });
+  if (S == LineHandler::Submit::Shutdown) {
+    StopRequested.store(true, std::memory_order_release);
+    if (OnShutdown)
+      OnShutdown();
+  }
+}
+
+void Connection::writeResponse(const Json &Resp) {
+  if (FaultInjector::global().shouldFail("io.write"))
+    return; // Injected write failure: drop this one response, stay up.
+  std::lock_guard<std::mutex> Lock(WriteMutex);
+  if (PeerGone.load(std::memory_order_acquire)) {
+    ++FrontEndStats::global().ResponsesDropped;
+    return;
+  }
+  std::string Out = Resp.dump(0);
+  Out.push_back('\n');
+  if (!writeAllFd(ClientFd.get(), Out.data(), Out.size())) {
+    // The client went away mid-request: drop the response, keep serving.
+    PeerGone.store(true, std::memory_order_release);
+    ++FrontEndStats::global().ResponsesDropped;
+  }
+}

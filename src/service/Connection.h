@@ -1,0 +1,123 @@
+//===- Connection.h - One NDJSON client connection --------------*- C++ -*-==//
+///
+/// \file
+/// One accepted socket client of the network front end (Listener.h,
+/// docs/DEPLOYMENT.md). A Connection owns the client fd and a reader
+/// thread that frames NDJSON lines out of the byte stream (FdLineReader
+/// handles partial lines from slow writers) and feeds them to the shared
+/// LineHandler; responses are written back under a per-connection lock,
+/// in completion order, from whatever pool thread finished the request.
+///
+/// Lifecycle and robustness:
+///
+///  * Responses outlive the client. Every in-flight request captures a
+///    shared_ptr to its Connection; if the client disconnects mid-request
+///    the write fails (or the peer is already known gone), the response
+///    is counted as dropped (service.responses_dropped) and discarded —
+///    the pool worker is never wedged and never signalled (SIGPIPE is
+///    suppressed at the send() call, FdIo.h).
+///
+///  * Per-connection backpressure. Beyond the service's global queue
+///    bound, each connection is capped at MaxInflight outstanding
+///    requests; excess non-ping requests are shed connection-side with
+///    the same `overloaded` + retry_after_ms contract
+///    (docs/PROTOCOL.md), so one firehosing client cannot monopolize the
+///    shared pool queue.
+///
+///  * A shutdown request drains the handler and reports back to the
+///    Listener, which stops accepting and closes every connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SERVICE_CONNECTION_H
+#define DPRLE_SERVICE_CONNECTION_H
+
+#include "service/FdIo.h"
+#include "service/Service.h"
+#include "support/Stats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace dprle {
+namespace service {
+
+/// Process-wide counters for the socket front end, published as
+/// "service.*" (docs/OBSERVABILITY.md).
+struct FrontEndStats {
+  RelaxedCounter ConnectionsAccepted;
+  RelaxedCounter ConnectionsClosed;
+  /// Requests submitted over a socket transport.
+  RelaxedCounter SocketRequests;
+  /// Responses dropped because the client had disconnected.
+  RelaxedCounter ResponsesDropped;
+  /// Requests shed by the per-connection in-flight cap.
+  RelaxedCounter ConnectionShed;
+
+  static FrontEndStats &global();
+};
+
+/// Per-connection knobs, copied from the ListenerOptions.
+struct ConnectionOptions {
+  /// Outstanding-request cap per connection; 0 = unlimited.
+  size_t MaxInflight = 0;
+  /// retry_after_ms hint attached to connection-side sheds.
+  uint64_t RetryAfterMsHint = 50;
+};
+
+class Connection : public std::enable_shared_from_this<Connection> {
+public:
+  /// Takes ownership of \p ClientFd. \p OnShutdown is invoked (once, from
+  /// the reader thread) when a client submits a shutdown request that the
+  /// handler acknowledged.
+  Connection(OwnedFd ClientFd, LineHandler &Handler,
+             const ConnectionOptions &Opts, std::function<void()> OnShutdown);
+  ~Connection();
+
+  Connection(const Connection &) = delete;
+  Connection &operator=(const Connection &) = delete;
+
+  /// Starts the reader thread. Call exactly once, with *this held by a
+  /// shared_ptr (responses extend the lifetime).
+  void start();
+
+  /// Half-closes the read side so the reader thread unblocks and winds
+  /// down; pending responses still write. Idempotent, any thread.
+  void stopReading();
+
+  /// True once the reader thread has finished (the connection no longer
+  /// produces work; it may still be completing writes).
+  bool done() const { return Done.load(std::memory_order_acquire); }
+
+  /// Joins the reader thread. Only call after done() or stopReading().
+  void join();
+
+private:
+  void readLoop();
+  void handleLine(const std::string &Line);
+  /// Serializes \p Resp to the socket; drops it if the client is gone.
+  void writeResponse(const Json &Resp);
+
+  OwnedFd ClientFd;
+  LineHandler &Handler;
+  ConnectionOptions Opts;
+  std::function<void()> OnShutdown;
+  std::thread Reader;
+  std::mutex WriteMutex;
+  std::atomic<size_t> Inflight{0};
+  /// The reader should wind down (listener stop or shutdown request);
+  /// pending responses still write.
+  std::atomic<bool> StopRequested{false};
+  /// The client is unreachable (a write failed): drop further responses.
+  std::atomic<bool> PeerGone{false};
+  std::atomic<bool> Done{false};
+};
+
+} // namespace service
+} // namespace dprle
+
+#endif // DPRLE_SERVICE_CONNECTION_H

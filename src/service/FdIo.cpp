@@ -1,0 +1,119 @@
+//===- FdIo.cpp - POSIX fd plumbing for the socket transports -----------------//
+
+#include "service/FdIo.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dprle;
+using namespace dprle::service;
+
+void OwnedFd::reset(int Fd) {
+  if (Value >= 0)
+    ::close(Value);
+  Value = Fd;
+}
+
+bool dprle::service::writeAllFd(int Fd, const char *Data, size_t Len) {
+  while (Len != 0) {
+    // send() so MSG_NOSIGNAL applies on sockets; ENOTSOCK falls back to
+    // write() for pipes and regular fds.
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::optional<std::string> FdLineReader::readLine() {
+  if (Failed)
+    return std::nullopt;
+  for (;;) {
+    // Only scan bytes not covered by a previous search: a slow writer
+    // trickling a long line must not make framing quadratic.
+    size_t Newline = Buffer.find('\n', Scanned);
+    if (Newline != std::string::npos) {
+      std::string Line = Buffer.substr(0, Newline);
+      Buffer.erase(0, Newline + 1);
+      Scanned = 0;
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      return Line;
+    }
+    Scanned = Buffer.size();
+    if (Buffer.size() > MaxLineBytes) {
+      Failed = true;
+      return std::nullopt;
+    }
+    if (Eof) {
+      if (Buffer.empty())
+        return std::nullopt;
+      std::string Line = std::move(Buffer);
+      Buffer.clear();
+      Scanned = 0;
+      return Line;
+    }
+    char Chunk[1 << 16];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      // A reset connection mid-line is an EOF with a stuck partial line;
+      // drop the fragment rather than parse garbage.
+      Failed = true;
+      return std::nullopt;
+    }
+    if (N == 0)
+      Eof = true;
+    else
+      Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+FdStreamBuf::FdStreamBuf(int Fd) : Fd(Fd) {
+  setg(InBuf, InBuf, InBuf);
+  setp(OutBuf, OutBuf + BufSize);
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr())
+    return traits_type::to_int_type(*gptr());
+  ssize_t N;
+  do {
+    N = ::read(Fd, InBuf, BufSize);
+  } while (N < 0 && errno == EINTR);
+  if (N <= 0)
+    return traits_type::eof();
+  setg(InBuf, InBuf, InBuf + N);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::flushOut() {
+  size_t Len = static_cast<size_t>(pptr() - pbase());
+  if (Len != 0 && !writeAllFd(Fd, pbase(), Len))
+    return false;
+  setp(OutBuf, OutBuf + BufSize);
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type Ch) {
+  if (!flushOut())
+    return traits_type::eof();
+  if (!traits_type::eq_int_type(Ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(Ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(Ch);
+}
+
+int FdStreamBuf::sync() { return flushOut() ? 0 : -1; }

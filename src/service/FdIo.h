@@ -1,0 +1,125 @@
+//===- FdIo.h - POSIX fd plumbing for the socket transports -----*- C++ -*-==//
+///
+/// \file
+/// Small file-descriptor utilities shared by the network front end
+/// (Listener.h / Connection.h) and the sharded router (Router.h /
+/// ShardSupervisor.h):
+///
+///  * OwnedFd — RAII close() wrapper, moveable, never copyable.
+///  * writeAllFd() — EINTR-safe full write. Uses send(MSG_NOSIGNAL) on
+///    sockets so a peer that went away yields an error return instead of
+///    SIGPIPE; callers drop the write and carry on (the worker must never
+///    die because one client hung up).
+///  * FdLineReader — incremental NDJSON framing over a byte stream:
+///    buffers partial lines across reads (a slow writer may deliver one
+///    request in many TCP segments) and yields complete lines without the
+///    terminator. Lines beyond MaxLineBytes poison the stream — the only
+///    sane answer to a client streaming an unbounded "line" is to cut it
+///    off.
+///  * FdStreamBuf — a std::streambuf over an fd, so a forked shard worker
+///    can run the existing SolverService::serve(std::istream&,
+///    std::ostream&) loop unchanged over its end of a socketpair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SERVICE_FDIO_H
+#define DPRLE_SERVICE_FDIO_H
+
+#include <cstddef>
+#include <optional>
+#include <streambuf>
+#include <string>
+
+namespace dprle {
+namespace service {
+
+/// RAII ownership of a POSIX file descriptor.
+class OwnedFd {
+public:
+  OwnedFd() = default;
+  explicit OwnedFd(int Fd) : Value(Fd) {}
+  ~OwnedFd() { reset(); }
+
+  OwnedFd(OwnedFd &&Other) noexcept : Value(Other.release()) {}
+  OwnedFd &operator=(OwnedFd &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      Value = Other.release();
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd &) = delete;
+  OwnedFd &operator=(const OwnedFd &) = delete;
+
+  int get() const { return Value; }
+  bool valid() const { return Value >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() {
+    int Fd = Value;
+    Value = -1;
+    return Fd;
+  }
+
+  /// Closes the descriptor (EINTR-safe no-retry per POSIX) if owned.
+  void reset(int Fd = -1);
+
+private:
+  int Value = -1;
+};
+
+/// Writes all of \p Data to \p Fd, retrying short writes and EINTR.
+/// Returns false on any hard error (EPIPE, ECONNRESET, EBADF, ...);
+/// never raises SIGPIPE on sockets.
+bool writeAllFd(int Fd, const char *Data, size_t Len);
+
+/// Incremental line framing over a byte-stream fd (see file comment).
+class FdLineReader {
+public:
+  /// Lines longer than this mark the reader failed: readLine() returns
+  /// nullopt and failed() is true. 64 MiB comfortably holds any real
+  /// request (the serialized-NFA operands of a decide are the largest).
+  static constexpr size_t MaxLineBytes = 64u << 20;
+
+  explicit FdLineReader(int Fd) : Fd(Fd) {}
+
+  /// Blocks until a full line, EOF, or an error. Returns the line without
+  /// its '\n' (a final unterminated line is yielded at EOF, matching
+  /// std::getline); nullopt at EOF or failure — check failed() to tell
+  /// them apart.
+  std::optional<std::string> readLine();
+
+  bool failed() const { return Failed; }
+
+private:
+  int Fd;
+  std::string Buffer;
+  size_t Scanned = 0; ///< Prefix of Buffer already searched for '\n'.
+  bool Eof = false;
+  bool Failed = false;
+};
+
+/// A std::streambuf over an fd. One instance serves one direction; a
+/// worker builds two (same fd) for its istream and ostream ends.
+class FdStreamBuf final : public std::streambuf {
+public:
+  explicit FdStreamBuf(int Fd);
+
+protected:
+  int_type underflow() override;
+  int_type overflow(int_type Ch) override;
+  int sync() override;
+
+private:
+  bool flushOut();
+
+  int Fd;
+  static constexpr size_t BufSize = 1 << 16;
+  char InBuf[BufSize];
+  char OutBuf[BufSize];
+};
+
+} // namespace service
+} // namespace dprle
+
+#endif // DPRLE_SERVICE_FDIO_H

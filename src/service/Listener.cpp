@@ -1,0 +1,215 @@
+//===- Listener.cpp - Socket front end for dprle serve ------------------------//
+
+#include "service/Listener.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dprle;
+using namespace dprle::service;
+
+namespace {
+
+void setCloexec(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFD);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFD, Flags | FD_CLOEXEC);
+}
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+Listener::Listener(LineHandler &Handler, const ListenerOptions &Opts)
+    : Handler(Handler), Opts(Opts) {}
+
+Listener::~Listener() {
+  stop();
+  if (!UnixPath.empty())
+    ::unlink(UnixPath.c_str());
+}
+
+bool Listener::listenTcp(const std::string &Host, uint16_t Port,
+                         std::string *Err) {
+  struct addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE;
+  std::string PortStr = std::to_string(Port);
+  struct addrinfo *Res = nullptr;
+  int GaiErr = ::getaddrinfo(Host.empty() ? nullptr : Host.c_str(),
+                             PortStr.c_str(), &Hints, &Res);
+  if (GaiErr != 0) {
+    if (Err)
+      *Err = std::string("getaddrinfo: ") + ::gai_strerror(GaiErr);
+    return false;
+  }
+  std::string LastErr = "no usable address";
+  for (struct addrinfo *Ai = Res; Ai; Ai = Ai->ai_next) {
+    int Fd = ::socket(Ai->ai_family, Ai->ai_socktype, Ai->ai_protocol);
+    if (Fd < 0) {
+      LastErr = errnoMessage("socket");
+      continue;
+    }
+    setCloexec(Fd);
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (::bind(Fd, Ai->ai_addr, Ai->ai_addrlen) != 0 ||
+        ::listen(Fd, 128) != 0) {
+      LastErr = errnoMessage("bind/listen");
+      ::close(Fd);
+      continue;
+    }
+    // Recover the kernel-assigned port so tests can bind port 0.
+    struct sockaddr_storage Bound;
+    socklen_t BoundLen = sizeof(Bound);
+    if (::getsockname(Fd, reinterpret_cast<struct sockaddr *>(&Bound),
+                      &BoundLen) == 0) {
+      if (Bound.ss_family == AF_INET)
+        BoundPort = ntohs(
+            reinterpret_cast<struct sockaddr_in *>(&Bound)->sin_port);
+      else if (Bound.ss_family == AF_INET6)
+        BoundPort = ntohs(
+            reinterpret_cast<struct sockaddr_in6 *>(&Bound)->sin6_port);
+    }
+    ListenFd.reset(Fd);
+    ::freeaddrinfo(Res);
+    return true;
+  }
+  ::freeaddrinfo(Res);
+  if (Err)
+    *Err = LastErr;
+  return false;
+}
+
+bool Listener::listenUnix(const std::string &Path, std::string *Err) {
+  struct sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "unix socket path too long";
+    return false;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = errnoMessage("socket");
+    return false;
+  }
+  setCloexec(Fd);
+  // A stale socket file from a crashed predecessor would make bind fail.
+  ::unlink(Path.c_str());
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(Fd, 128) != 0) {
+    if (Err)
+      *Err = errnoMessage("bind/listen");
+    ::close(Fd);
+    return false;
+  }
+  UnixPath = Path;
+  ListenFd.reset(Fd);
+  return true;
+}
+
+void Listener::start() {
+  Acceptor = std::thread([this] { acceptLoop(); });
+}
+
+void Listener::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd.get(), nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      // stop() closed the listen socket under us (EBADF/EINVAL), or the
+      // socket broke; either way accepting is over.
+      return;
+    }
+    setCloexec(Fd);
+    auto OnShutdown = [this] {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ShutdownRequested = true;
+      ShutdownCv.notify_all();
+    };
+    auto Conn = std::make_shared<Connection>(OwnedFd(Fd), Handler, Opts.Conn,
+                                             OnShutdown);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Stopped)
+        // Raced with stop(): the Connection never starts; its destructor
+        // closes the fd.
+        return;
+      pruneDone();
+      Connections.push_back(Conn);
+    }
+    Conn->start();
+  }
+}
+
+void Listener::pruneDone() {
+  Connections.erase(
+      std::remove_if(Connections.begin(), Connections.end(),
+                     [](const std::shared_ptr<Connection> &C) {
+                       if (!C->done())
+                         return false;
+                       C->join();
+                       return true;
+                     }),
+      Connections.end());
+}
+
+int Listener::run() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    ShutdownCv.wait(Lock, [this] { return ShutdownRequested || Stopped; });
+  }
+  stop();
+  return 0;
+}
+
+void Listener::stop() {
+  std::vector<std::shared_ptr<Connection>> ToStop;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopped) {
+      ShutdownCv.notify_all();
+      return;
+    }
+    Stopped = true;
+    ShutdownCv.notify_all();
+    ToStop.swap(Connections);
+  }
+  // shutdown() (not close()) unblocks a thread parked in accept(): on
+  // Linux a close of the listening fd leaves the accept blocked forever.
+  if (ListenFd.valid())
+    ::shutdown(ListenFd.get(), SHUT_RDWR);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  ListenFd.reset();
+  for (auto &Conn : ToStop)
+    Conn->stopReading();
+  for (auto &Conn : ToStop)
+    Conn->join();
+  // Every remaining in-flight request completes (its response flushes
+  // through the still-open write sides) before the front end reports done.
+  Handler.drain();
+  if (!UnixPath.empty()) {
+    ::unlink(UnixPath.c_str());
+    UnixPath.clear();
+  }
+}

@@ -1,0 +1,104 @@
+//===- Listener.h - Socket front end for dprle serve ------------*- C++ -*-==//
+///
+/// \file
+/// The network front end of `dprle serve` (docs/DEPLOYMENT.md): binds a
+/// TCP or Unix-domain listening socket, accepts clients on a dedicated
+/// thread, and hands each one to a Connection (Connection.h) that frames
+/// NDJSON lines into the shared LineHandler — the local SolverService or
+/// the sharded Router. Many clients multiplex onto the handler's one
+/// ThreadPool; responses go back per-connection in completion order.
+///
+/// Shutdown is graceful in both directions:
+///
+///  * A client `shutdown` request drains the handler, is acknowledged on
+///    the submitting connection, and then wakes run(): the listen socket
+///    closes (no new clients), every connection's read side half-closes
+///    (pending responses still flush), readers are joined, and the
+///    handler drains once more.
+///
+///  * stop() from the host process (signal handler, test teardown)
+///    follows the same sequence without the client ack.
+///
+/// Tests bind TCP port 0 and recover the kernel-assigned port via
+/// boundPort(); Unix sockets unlink their path on close.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SERVICE_LISTENER_H
+#define DPRLE_SERVICE_LISTENER_H
+
+#include "service/Connection.h"
+#include "service/FdIo.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dprle {
+namespace service {
+
+struct ListenerOptions {
+  /// Per-connection knobs forwarded to every accepted Connection.
+  ConnectionOptions Conn;
+};
+
+class Listener {
+public:
+  Listener(LineHandler &Handler, const ListenerOptions &Opts);
+  ~Listener();
+
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Binds and listens on TCP \p Host : \p Port (port 0 = ephemeral; see
+  /// boundPort()). On failure returns false and sets \p Err.
+  bool listenTcp(const std::string &Host, uint16_t Port, std::string *Err);
+
+  /// Binds and listens on a Unix-domain socket at \p Path (unlinking any
+  /// stale socket file first). On failure returns false and sets \p Err.
+  bool listenUnix(const std::string &Path, std::string *Err);
+
+  /// The TCP port actually bound (resolves port 0). 0 for Unix sockets.
+  uint16_t boundPort() const { return BoundPort; }
+
+  /// Starts the accept thread. Call after a successful listen*().
+  void start();
+
+  /// Blocks until a client shutdown request lands (or stop() is called
+  /// from another thread), then tears the front end down. Returns a
+  /// process exit code (0).
+  int run();
+
+  /// Stops accepting, half-closes every connection's read side, joins
+  /// readers, and drains the handler. Idempotent, any thread.
+  void stop();
+
+private:
+  void acceptLoop();
+  /// Drops registry entries whose reader has finished (their last
+  /// shared_ptr may live on in a pending response lambda).
+  void pruneDone();
+
+  LineHandler &Handler;
+  ListenerOptions Opts;
+  OwnedFd ListenFd;
+  /// Unix socket path to unlink on close; empty for TCP.
+  std::string UnixPath;
+  uint16_t BoundPort = 0;
+  std::thread Acceptor;
+
+  std::mutex Mutex;
+  std::condition_variable ShutdownCv;
+  bool ShutdownRequested = false;
+  bool Stopped = false;
+  std::vector<std::shared_ptr<Connection>> Connections;
+};
+
+} // namespace service
+} // namespace dprle
+
+#endif // DPRLE_SERVICE_LISTENER_H

@@ -1,0 +1,495 @@
+//===- Router.cpp - Structural shard router -----------------------------------//
+
+#include "service/Router.h"
+
+#include "automata/Decide.h"
+#include "automata/Serialize.h"
+#include "solver/ConstraintParser.h"
+
+#include <utility>
+
+using namespace dprle;
+using namespace dprle::service;
+
+namespace {
+
+struct RegisterRouterStats {
+  RegisterRouterStats() {
+    StatsRegistry &R = StatsRegistry::global();
+    RouterStats &S = RouterStats::global();
+    R.registerCounter("service.router_forwarded", &S.ForwardedRequests);
+    R.registerCounter("service.shard_restarts", &S.ShardRestarts);
+    R.registerCounter("service.router_orphaned", &S.OrphanedRequests);
+    R.registerCounter("service.shard_down_shed", &S.ShardDownShed);
+  }
+};
+RegisterRouterStats RegisterRouterStatsInit;
+
+uint64_t fnvMix(uint64_t H, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xff;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t fnvString(const std::string &S) {
+  uint64_t H = 14695981039346656037ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// The structural fingerprint that pins a request to its shard. decide
+/// uses the same machine-pair combination as the DecisionCache shard
+/// function (rotate keeps (A, B) and (B, A) apart); solve folds every
+/// constant machine of the parsed constraint system. nullopt when the
+/// params do not parse — the request then routes by raw text and the
+/// worker stays authoritative for the error.
+std::optional<uint64_t> structuralRequestHash(const Request &R) {
+  if (R.Method == "decide") {
+    const Json *L = R.Params.find("lhs");
+    if (!L || !L->isString())
+      return std::nullopt;
+    NfaParseResult PL = parseNfa(L->asString());
+    if (!PL.ok())
+      return std::nullopt;
+    uint64_t H = structuralHash(*PL.Machine);
+    if (const Json *Rv = R.Params.find("rhs")) {
+      if (!Rv->isString())
+        return std::nullopt;
+      NfaParseResult PR = parseNfa(Rv->asString());
+      if (!PR.ok())
+        return std::nullopt;
+      uint64_t HR = structuralHash(*PR.Machine);
+      H ^= (HR << 17) | (HR >> 47);
+    }
+    return H;
+  }
+  if (R.Method == "solve") {
+    const Json *Text = R.Params.find("constraints");
+    if (!Text || !Text->isString())
+      return std::nullopt;
+    ConstraintParseResult Parsed = parseConstraintText(Text->asString());
+    if (!Parsed.Ok)
+      return std::nullopt;
+    uint64_t H = 14695981039346656037ull;
+    for (const Constraint &C : Parsed.Instance.constraints()) {
+      for (const Term &T : C.Lhs)
+        if (!T.isVariable())
+          H = fnvMix(H, structuralHash(T.Language));
+      H = fnvMix(H, structuralHash(C.Rhs));
+    }
+    return H;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+RouterStats &RouterStats::global() {
+  static RouterStats Stats;
+  return Stats;
+}
+
+/// One aggregated ping/stats/shutdown across all live shards. Remaining
+/// and Results are guarded by Mutex; Done is guarded by the router's
+/// PendingMutex (the shutdown waiter sleeps on PendingCv).
+struct Router::FanOut {
+  std::mutex Mutex;
+  unsigned Remaining = 0;
+  std::string Method;
+  Json OriginalId;
+  ResponseFn Respond;
+  /// The "result" objects of workers that answered ok.
+  std::vector<Json> Results;
+  bool Done = false;
+};
+
+Router::Router(const RouterOptions &Opts)
+    : Opts(Opts),
+      Supervisor([&] {
+        ShardSupervisorOptions S;
+        S.Shards = Opts.Shards == 0 ? 1 : Opts.Shards;
+        S.Worker = Opts.Worker;
+        S.MaxRestartsPerShard = Opts.MaxRestartsPerShard;
+        return S;
+      }()) {
+  if (this->Opts.Shards == 0)
+    this->Opts.Shards = 1;
+  for (unsigned I = 0; I != this->Opts.Shards; ++I)
+    WriteMutexes.push_back(std::make_unique<std::mutex>());
+}
+
+Router::~Router() { stop(); }
+
+bool Router::start(std::string *Err) {
+  if (!Supervisor.start(Err))
+    return false;
+  for (unsigned I = 0; I != Opts.Shards; ++I)
+    Pumps.emplace_back([this, I] { readLoop(I); });
+  return true;
+}
+
+Json Router::shedError(const Json &Id, const std::string &Message) const {
+  Json Details = Json::object();
+  Details["retry_after_ms"] = Opts.RetryAfterMsHint;
+  return makeError(Id, ErrorCode::Overloaded, Message, Details);
+}
+
+unsigned Router::shardFor(const std::string &Line) const {
+  RequestParse P = parseRequest(Line);
+  uint64_t H;
+  if (P.ok()) {
+    std::optional<uint64_t> SH = structuralRequestHash(*P.Req);
+    H = SH ? *SH : fnvString(Line);
+  } else {
+    H = fnvString(Line);
+  }
+  return static_cast<unsigned>(H % Opts.Shards);
+}
+
+LineHandler::Submit Router::submitLine(const std::string &Line,
+                                       ResponseFn Respond) {
+  RequestParse P = parseRequest(Line);
+  if (!P.ok()) {
+    // Same inline answer a SolverService gives: there is nothing to
+    // forward, and id rewriting needs a parsed request anyway.
+    Respond(makeError(P.Id, P.Code, P.Message));
+    return Submit::Accepted;
+  }
+  const Request &R = *P.Req;
+  if (Stopping.load(std::memory_order_acquire)) {
+    Respond(shedError(R.Id, "service is shutting down"));
+    return Submit::Accepted;
+  }
+
+  if (R.Method == "ping" || R.Method == "stats" || R.Method == "shutdown")
+    return fanOut(R, std::move(Respond));
+
+  // solve / decide / unknown methods forward to one worker; the worker
+  // is authoritative for unknown-method and invalid-params errors.
+  std::optional<uint64_t> SH = structuralRequestHash(R);
+  unsigned Shard =
+      static_cast<unsigned>((SH ? *SH : fnvString(Line)) % Opts.Shards);
+  Pending P2;
+  P2.OriginalId = R.Id;
+  P2.Respond = std::move(Respond);
+  P2.Shard = Shard;
+  forward(Shard, R, std::move(P2));
+  return Submit::Accepted;
+}
+
+void Router::forward(unsigned Shard, const Request &R, Pending P) {
+  if (Supervisor.shardFd(Shard) < 0 && !P.Fan) {
+    // The shard burned its restart budget; shed like an overload so the
+    // client's backoff machinery handles it.
+    ++RouterStats::global().ShardDownShed;
+    P.Respond(shedError(P.OriginalId,
+                        "shard worker unavailable; retry after backoff"));
+    return;
+  }
+
+  ++RouterStats::global().ForwardedRequests;
+  uint64_t Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  // Rewrite the id to a router-private sequence number: client ids are
+  // free-form and collide across connections.
+  Json Wire = Json::object();
+  Wire["id"] = Seq;
+  Wire["method"] = R.Method;
+  if (!R.Params.isNull())
+    Wire["params"] = R.Params;
+  std::string Frame = Wire.dump(0);
+  Frame.push_back('\n');
+
+  // Register before sending: the response may beat the registration
+  // otherwise and leak the pending entry forever.
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    PendingMap.emplace(Seq, std::move(P));
+  }
+  bool Sent = false;
+  {
+    std::lock_guard<std::mutex> WLock(*WriteMutexes[Shard]);
+    int Fd = Supervisor.shardFd(Shard);
+    if (Fd >= 0)
+      Sent = writeAllFd(Fd, Frame.data(), Frame.size());
+  }
+  if (Sent)
+    return;
+  // Dead worker: if the crash sweep has not already claimed the entry,
+  // fail it here.
+  Pending Failed;
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    auto It = PendingMap.find(Seq);
+    if (It == PendingMap.end())
+      return;
+    Failed = std::move(It->second);
+    PendingMap.erase(It);
+    ++Delivering;
+  }
+  finishPending(Seq, std::move(Failed), nullptr);
+  doneDelivering(1);
+}
+
+void Router::doneDelivering(unsigned N) {
+  std::lock_guard<std::mutex> Lock(PendingMutex);
+  Delivering -= N;
+  PendingCv.notify_all();
+}
+
+LineHandler::Submit Router::fanOut(const Request &R, ResponseFn Respond) {
+  bool IsShutdown = R.Method == "shutdown";
+  if (IsShutdown)
+    // Flag first: worker EOFs that follow the acks must not trigger
+    // restarts, and new requests racing the shutdown are shed.
+    Stopping.store(true, std::memory_order_release);
+
+  auto Fan = std::make_shared<FanOut>();
+  Fan->Method = R.Method;
+  Fan->OriginalId = R.Id;
+  Fan->Respond = std::move(Respond);
+
+  std::vector<unsigned> Live;
+  for (unsigned I = 0; I != Opts.Shards; ++I)
+    if (Supervisor.shardFd(I) >= 0)
+      Live.push_back(I);
+  if (Live.empty()) {
+    Fan->Respond(IsShutdown
+                     ? [&] {
+                         Json Ack = Json::object();
+                         Ack["shutting_down"] = true;
+                         return makeResult(R.Id, std::move(Ack));
+                       }()
+                     : shedError(R.Id, "no shard workers reachable"));
+    return IsShutdown ? Submit::Shutdown : Submit::Accepted;
+  }
+  Fan->Remaining = static_cast<unsigned>(Live.size());
+  for (unsigned Shard : Live) {
+    Pending P;
+    P.OriginalId = R.Id;
+    P.Shard = Shard;
+    P.Fan = Fan;
+    forward(Shard, R, std::move(P));
+  }
+  if (!IsShutdown)
+    return Submit::Accepted;
+
+  // Block until every worker acknowledged. Each worker drains its own
+  // pool before acking, and on each socket the drained responses precede
+  // the ack — so when the last ack lands, everything the workers ever
+  // read has been answered.
+  {
+    std::unique_lock<std::mutex> Lock(PendingMutex);
+    PendingCv.wait(Lock, [&] { return Fan->Done; });
+  }
+  return Submit::Shutdown;
+}
+
+void Router::readLoop(unsigned Shard) {
+  for (;;) {
+    int Fd = Supervisor.shardFd(Shard);
+    if (Fd < 0)
+      return;
+    FdLineReader Lines(Fd);
+    while (std::optional<std::string> Line = Lines.readLine()) {
+      if (Line->empty())
+        continue;
+      handleWorkerLine(Shard, *Line);
+    }
+    if (Stopping.load(std::memory_order_acquire))
+      return;
+    // Worker crashed: orphan its pending requests (clients retry onto
+    // the replacement) and fork a fresh worker with a cold cache.
+    orphanShard(Shard);
+    std::lock_guard<std::mutex> WLock(*WriteMutexes[Shard]);
+    if (Supervisor.restartShard(Shard) < 0)
+      return; // Restart budget exhausted; the shard stays down.
+    ++RouterStats::global().ShardRestarts;
+  }
+}
+
+void Router::handleWorkerLine(unsigned Shard, const std::string &Line) {
+  (void)Shard;
+  std::optional<Json> Resp = Json::parse(Line);
+  if (!Resp)
+    return; // Garbage from a dying worker; the EOF path cleans up.
+  const Json *IdV = Resp->find("id");
+  if (!IdV || !IdV->isNumber())
+    return;
+  uint64_t Seq = IdV->asUnsigned();
+  Pending P;
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    auto It = PendingMap.find(Seq);
+    if (It == PendingMap.end())
+      return; // Orphaned by a crash sweep; drop the late duplicate.
+    P = std::move(It->second);
+    PendingMap.erase(It);
+    ++Delivering;
+  }
+  finishPending(Seq, std::move(P), &*Resp);
+  doneDelivering(1);
+}
+
+void Router::orphanShard(unsigned Shard) {
+  std::vector<std::pair<uint64_t, Pending>> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    for (auto It = PendingMap.begin(); It != PendingMap.end();) {
+      if (It->second.Shard == Shard) {
+        Orphans.emplace_back(It->first, std::move(It->second));
+        It = PendingMap.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    Delivering += static_cast<unsigned>(Orphans.size());
+  }
+  for (auto &[Seq, P] : Orphans)
+    finishPending(Seq, std::move(P), nullptr);
+  if (!Orphans.empty())
+    doneDelivering(static_cast<unsigned>(Orphans.size()));
+}
+
+void Router::finishPending(uint64_t Seq, Pending &&P, const Json *WorkerResp) {
+  (void)Seq;
+  if (P.Fan) {
+    contributeFanOut(P.Fan, WorkerResp);
+    return;
+  }
+  if (WorkerResp) {
+    Json Resp = *WorkerResp;
+    Resp["id"] = P.OriginalId; // Restore the client's id.
+    P.Respond(Resp);
+    return;
+  }
+  ++RouterStats::global().OrphanedRequests;
+  P.Respond(shedError(P.OriginalId,
+                      "shard worker crashed; retry after backoff"));
+}
+
+void Router::contributeFanOut(const std::shared_ptr<FanOut> &Fan,
+                              const Json *WorkerResp) {
+  bool Last = false;
+  {
+    std::lock_guard<std::mutex> Lock(Fan->Mutex);
+    if (WorkerResp) {
+      const Json *Ok = WorkerResp->find("ok");
+      if (Ok && Ok->isBool() && Ok->asBool())
+        if (const Json *Result = WorkerResp->find("result"))
+          Fan->Results.push_back(*Result);
+    }
+    Last = --Fan->Remaining == 0;
+  }
+  if (!Last)
+    return;
+  Fan->Respond(buildFanOutResponse(*Fan));
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    Fan->Done = true;
+    PendingCv.notify_all();
+  }
+}
+
+Json Router::buildFanOutResponse(const FanOut &Fan) const {
+  if (Fan.Method == "shutdown") {
+    // Workers that crashed mid-shutdown are already gone — that is the
+    // goal state; the ack stands either way.
+    Json Ack = Json::object();
+    Ack["shutting_down"] = true;
+    return makeResult(Fan.OriginalId, std::move(Ack));
+  }
+  if (Fan.Results.empty())
+    return shedError(Fan.OriginalId, "no shard workers answered");
+  if (Fan.Method == "ping") {
+    Json R = Json::object();
+    R["pong"] = true;
+    R["shards"] = Opts.Shards;
+    R["healthy_shards"] = static_cast<uint64_t>(Fan.Results.size());
+    return makeResult(Fan.OriginalId, std::move(R));
+  }
+
+  // stats: sum worker counters and cache sizes; scalar config (jobs,
+  // budgets) is identical across workers, so the first answers for all.
+  auto AddInto = [](Json &Obj, const std::string &Name, uint64_t V) {
+    const Json *Cur = Obj.find(Name);
+    uint64_t Base = Cur && Cur->isNumber() ? Cur->asUnsigned() : 0;
+    Obj[Name] = Base + V;
+  };
+  Json Counters = Json::object();
+  uint64_t Machines = 0, Answers = 0, QueueDepth = 0, Jobs = 0;
+  bool CacheEnabled = true;
+  const Json *Budgets = nullptr;
+  for (const Json &R : Fan.Results) {
+    if (const Json *C = R.find("counters"))
+      for (const auto &[Name, V] : C->members())
+        if (V.isNumber())
+          AddInto(Counters, Name, V.asUnsigned());
+    if (const Json *DC = R.find("decision_cache")) {
+      if (const Json *E = DC->find("enabled"))
+        CacheEnabled = CacheEnabled && E->asBool();
+      if (const Json *M = DC->find("machines"))
+        Machines += M->asUnsigned();
+      if (const Json *A = DC->find("answers"))
+        Answers += A->asUnsigned();
+    }
+    if (const Json *J = R.find("jobs"))
+      Jobs = J->asUnsigned();
+    if (const Json *Q = R.find("queue_depth"))
+      QueueDepth += Q->asUnsigned();
+    if (!Budgets)
+      Budgets = R.find("budgets");
+  }
+  Json Out = Json::object();
+  Out["counters"] = std::move(Counters);
+  Json Cache = Json::object();
+  Cache["enabled"] = CacheEnabled;
+  Cache["machines"] = Machines;
+  Cache["answers"] = Answers;
+  Out["decision_cache"] = std::move(Cache);
+  Out["jobs"] = Jobs;
+  Out["queue_depth"] = QueueDepth;
+  if (Budgets)
+    Out["budgets"] = *Budgets;
+  Json RouterSec = Json::object();
+  RouterSec["shards"] = Opts.Shards;
+  RouterSec["healthy_shards"] = static_cast<uint64_t>(Fan.Results.size());
+  RouterSec["restarts"] = RouterStats::global().ShardRestarts.get();
+  RouterSec["forwarded"] = RouterStats::global().ForwardedRequests.get();
+  RouterSec["orphaned"] = RouterStats::global().OrphanedRequests.get();
+  Out["router"] = std::move(RouterSec);
+  return makeResult(Fan.OriginalId, std::move(Out));
+}
+
+void Router::drain() {
+  std::unique_lock<std::mutex> Lock(PendingMutex);
+  PendingCv.wait(Lock, [&] { return PendingMap.empty() && Delivering == 0; });
+}
+
+void Router::stop() {
+  Stopping.store(true, std::memory_order_release);
+  Supervisor.halfCloseAll();
+  for (std::thread &T : Pumps)
+    if (T.joinable())
+      T.join();
+  Pumps.clear();
+  Supervisor.stopAll();
+  // Anything still pending will never be answered by a worker; honor the
+  // exactly-once response contract with a shed.
+  std::vector<std::pair<uint64_t, Pending>> Leftover;
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    for (auto &[Seq, P] : PendingMap)
+      Leftover.emplace_back(Seq, std::move(P));
+    PendingMap.clear();
+    Delivering += static_cast<unsigned>(Leftover.size());
+  }
+  for (auto &[Seq, P] : Leftover)
+    finishPending(Seq, std::move(P), nullptr);
+  if (!Leftover.empty())
+    doneDelivering(static_cast<unsigned>(Leftover.size()));
+}

@@ -1,0 +1,159 @@
+//===- Router.h - Structural shard router -----------------------*- C++ -*-==//
+///
+/// \file
+/// The multi-process scale-out path of `dprle serve --shards=N`
+/// (docs/DEPLOYMENT.md): a LineHandler that forwards each request to one
+/// of N worker processes (ShardSupervisor.h) instead of solving locally.
+/// The front ends — stdio loop and socket Listener — are unchanged; they
+/// feed a Router exactly as they would a SolverService.
+///
+/// Routing is *structural*: a decide request is hashed by the same
+/// marker-free machine-pair fingerprint the DecisionCache interns
+/// (structuralHash, Decide.h), and a solve request by the fold of its
+/// constraint machines. Structurally identical queries therefore always
+/// land on the same worker, whose in-process decision cache stays hot —
+/// the whole point of sharding by content rather than round-robin.
+/// Requests whose params do not parse route by a raw-text hash to an
+/// arbitrary worker, which stays authoritative for the error response.
+///
+/// Wire mechanics: the router rewrites each request's id to a private
+/// sequence number before forwarding (client ids are free-form and can
+/// collide across connections), keeps a pending table seq -> (original
+/// id, response callback), and per-shard reader threads restore the
+/// original id on the way back. ping/stats/shutdown fan out to every
+/// live shard and aggregate: stats sums worker counters, shutdown drains
+/// each worker before the single acknowledgement.
+///
+/// Crash handling: a worker EOF orphans that shard's pending requests
+/// with `overloaded` + retry_after_ms — the standard client backoff
+/// machinery (examples/service_client.py) retries them onto the
+/// restarted worker. Restarts are budgeted per shard; past the budget
+/// the shard's traffic is shed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SERVICE_ROUTER_H
+#define DPRLE_SERVICE_ROUTER_H
+
+#include "service/ShardSupervisor.h"
+#include "support/Stats.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace dprle {
+namespace service {
+
+/// Process-wide router counters, published as "service.router_*"
+/// (docs/OBSERVABILITY.md).
+struct RouterStats {
+  /// Requests forwarded to a shard worker (fan-out legs count once each).
+  RelaxedCounter ForwardedRequests;
+  /// Worker processes restarted after a crash.
+  RelaxedCounter ShardRestarts;
+  /// Pending requests orphaned by a worker crash (answered `overloaded`).
+  RelaxedCounter OrphanedRequests;
+  /// Requests shed because their shard is down (restart budget exhausted).
+  RelaxedCounter ShardDownShed;
+
+  static RouterStats &global();
+};
+
+struct RouterOptions {
+  /// Worker process count.
+  unsigned Shards = 2;
+  /// Options each worker's SolverService runs with.
+  ServiceOptions Worker;
+  /// Restart budget per shard.
+  unsigned MaxRestartsPerShard = 8;
+  /// retry_after_ms hint attached to orphan/shed responses.
+  uint64_t RetryAfterMsHint = 50;
+};
+
+class Router : public LineHandler {
+public:
+  explicit Router(const RouterOptions &Opts);
+  ~Router() override;
+
+  Router(const Router &) = delete;
+  Router &operator=(const Router &) = delete;
+
+  /// Forks the workers and starts the per-shard response pumps. On
+  /// failure returns false with \p Err set.
+  bool start(std::string *Err);
+
+  unsigned numShards() const { return Opts.Shards; }
+
+  /// LineHandler: parses \p Line, routes it to its shard (or fans out),
+  /// and arranges for \p Respond to fire when the worker answers.
+  Submit submitLine(const std::string &Line, ResponseFn Respond) override;
+
+  /// LineHandler: blocks until the pending table is empty.
+  void drain() override;
+
+  /// Tears the fleet down: half-closes the workers (they drain and
+  /// exit), joins the response pumps, reaps, and fails any stragglers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// The shard \p Line would route to — exposed so tests can assert
+  /// structural affinity without a process fleet.
+  unsigned shardFor(const std::string &Line) const;
+
+private:
+  /// One aggregated ping/stats/shutdown across all live shards.
+  struct FanOut;
+  /// One forwarded request awaiting its worker response.
+  struct Pending {
+    Json OriginalId;
+    ResponseFn Respond;
+    unsigned Shard = 0;
+    std::shared_ptr<FanOut> Fan;
+  };
+
+  void readLoop(unsigned Shard);
+  /// Forwards a ping/stats/shutdown to every live shard and aggregates;
+  /// for shutdown, blocks until all acks land before returning Shutdown.
+  Submit fanOut(const Request &R, ResponseFn Respond);
+  Json buildFanOutResponse(const FanOut &Fan) const;
+  void handleWorkerLine(unsigned Shard, const std::string &Line);
+  /// Fails every pending entry parked on \p Shard (worker crashed).
+  void orphanShard(unsigned Shard);
+  /// Registers a pending entry and forwards the rewritten request; on a
+  /// send failure the entry is failed immediately.
+  void forward(unsigned Shard, const Request &R, Pending P);
+  void finishPending(uint64_t Seq, Pending &&P, const Json *WorkerResp);
+  /// Decrements Delivering by \p N and wakes drain().
+  void doneDelivering(unsigned N);
+  void contributeFanOut(const std::shared_ptr<FanOut> &Fan,
+                        const Json *WorkerResp);
+  Json shedError(const Json &Id, const std::string &Message) const;
+
+  RouterOptions Opts;
+  ShardSupervisor Supervisor;
+  /// One writer lock per shard: serializes NDJSON frames onto the worker
+  /// socket and fences writers against a concurrent fd swap on restart.
+  std::vector<std::unique_ptr<std::mutex>> WriteMutexes;
+  std::vector<std::thread> Pumps;
+
+  mutable std::mutex PendingMutex;
+  std::condition_variable PendingCv;
+  std::unordered_map<uint64_t, Pending> PendingMap;
+  /// Responses removed from PendingMap whose Respond callback is still
+  /// executing (guarded by PendingMutex). drain() must wait these out:
+  /// the callback writes through stream/mutex state the caller destroys
+  /// the moment drain() returns.
+  unsigned Delivering = 0;
+  std::atomic<uint64_t> NextSeq{1};
+  std::atomic<bool> Stopping{false};
+};
+
+} // namespace service
+} // namespace dprle
+
+#endif // DPRLE_SERVICE_ROUTER_H

@@ -369,7 +369,47 @@ Json SolverService::doStats() const {
   return Out;
 }
 
-int SolverService::serve(std::istream &In, std::ostream &Out) {
+LineHandler::Submit SolverService::submitLine(const std::string &Line,
+                                              ResponseFn Respond) {
+  RequestParse P = parseRequest(Line);
+  if (!P.ok()) {
+    // Malformed requests are answered inline — there is no job to
+    // schedule, and the transport's reader must keep reading.
+    Respond(makeError(P.Id, P.Code, P.Message));
+    return Submit::Accepted;
+  }
+  if (P.Req->Method == "shutdown") {
+    // Drain in-flight requests so every accepted request is answered,
+    // then acknowledge; the transport stops reading.
+    Pool.waitIdle();
+    Respond(handleRequest(*P.Req));
+    return Submit::Shutdown;
+  }
+  // Admission control: a full queue sheds the request with a
+  // machine-readable retry hint instead of growing without bound.
+  // Pings are exempt — health probes must answer even under load.
+  bool QueueFull = Opts.MaxQueueDepth != 0 &&
+                   Pool.queueDepth() >= Opts.MaxQueueDepth &&
+                   P.Req->Method != "ping";
+  if (QueueFull || FaultInjector::global().shouldFail("queue.submit")) {
+    ++BudgetStats::global().RequestsShed;
+    Json Details = Json::object();
+    Details["retry_after_ms"] = Opts.RetryAfterMsHint;
+    Respond(makeError(P.Req->Id, ErrorCode::Overloaded,
+                      "service overloaded; retry after backoff", Details));
+    return Submit::Accepted;
+  }
+  Pool.submit(
+      [this, Req = std::move(*P.Req), Respond = std::move(Respond)] {
+        Respond(handleRequest(Req));
+      });
+  return Submit::Accepted;
+}
+
+void SolverService::drain() { Pool.waitIdle(); }
+
+int dprle::service::serveStreams(LineHandler &Handler, std::istream &In,
+                                 std::ostream &Out) {
   std::mutex OutMutex;
   auto Respond = [&](const Json &Resp) {
     std::lock_guard<std::mutex> Lock(OutMutex);
@@ -400,39 +440,13 @@ int SolverService::serve(std::istream &In, std::ostream &Out) {
     }
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       continue; // Blank keep-alive lines are ignored.
-    RequestParse P = parseRequest(Line);
-    if (!P.ok()) {
-      // Malformed requests are answered inline — there is no job to
-      // schedule, and the reader thread must keep reading.
-      Respond(makeError(P.Id, P.Code, P.Message));
-      continue;
-    }
-    if (P.Req->Method == "shutdown") {
-      // Drain in-flight requests so every accepted request is answered,
-      // then acknowledge and stop reading.
-      Pool.waitIdle();
-      Respond(handleRequest(*P.Req));
+    if (Handler.submitLine(Line, Respond) == LineHandler::Submit::Shutdown)
       break;
-    }
-    // Admission control: a full queue sheds the request with a
-    // machine-readable retry hint instead of growing without bound.
-    // Pings are exempt — health probes must answer even under load.
-    bool QueueFull = Opts.MaxQueueDepth != 0 &&
-                     Pool.queueDepth() >= Opts.MaxQueueDepth &&
-                     P.Req->Method != "ping";
-    if (QueueFull || FaultInjector::global().shouldFail("queue.submit")) {
-      ++BudgetStats::global().RequestsShed;
-      Json Details = Json::object();
-      Details["retry_after_ms"] = Opts.RetryAfterMsHint;
-      Respond(makeError(P.Req->Id, ErrorCode::Overloaded,
-                        "service overloaded; retry after backoff",
-                        Details));
-      continue;
-    }
-    Pool.submit([this, Req = std::move(*P.Req), &Respond] {
-      Respond(handleRequest(Req));
-    });
   }
-  Pool.waitIdle();
+  Handler.drain();
   return 0;
+}
+
+int SolverService::serve(std::istream &In, std::ostream &Out) {
+  return serveStreams(*this, In, Out);
 }

@@ -36,10 +36,49 @@
 #include "service/ThreadPool.h"
 #include "support/Cancellation.h"
 
+#include <functional>
 #include <iosfwd>
+#include <string>
 
 namespace dprle {
 namespace service {
+
+/// Transport-independent request sink. The stdio loop, every socket
+/// connection (Listener.h / Connection.h) and the shard router (Router.h)
+/// feed raw NDJSON lines into one of these; the handler answers through
+/// the supplied callback, possibly from another thread and out of
+/// submission order. Two implementations exist: SolverService (solves
+/// locally on its pool) and Router (forwards to shard worker processes).
+class LineHandler {
+public:
+  virtual ~LineHandler() = default;
+
+  /// What a submitted line asked of the transport.
+  enum class Submit {
+    /// The line was scheduled (or answered inline); \p Respond is invoked
+    /// exactly once, on an unspecified thread.
+    Accepted,
+    /// The line was a shutdown request: in-flight work has been drained,
+    /// the shutdown acknowledged through \p Respond, and the transport
+    /// should stop reading.
+    Shutdown,
+  };
+
+  using ResponseFn = std::function<void(const Json &)>;
+
+  /// Schedules one raw request line (transports skip blank keep-alive
+  /// lines themselves). \p Respond is invoked exactly once per call.
+  virtual Submit submitLine(const std::string &Line, ResponseFn Respond) = 0;
+
+  /// Blocks until every in-flight request has been answered.
+  virtual void drain() = 0;
+};
+
+/// Drives \p Handler from a line-oriented stream pair: the stdio
+/// transport of `dprle serve`, shared by the local service and the
+/// sharded router. Reads until EOF or a shutdown request, answering on
+/// \p Out in completion order. Returns a process exit code (0).
+int serveStreams(LineHandler &Handler, std::istream &In, std::ostream &Out);
 
 struct ServiceOptions {
   /// Worker count of the pool; also SolverOptions::Jobs for every solve.
@@ -74,13 +113,22 @@ struct ServiceOptions {
   /// @}
 };
 
-class SolverService {
+class SolverService : public LineHandler {
 public:
   explicit SolverService(const ServiceOptions &Opts);
 
   /// The NDJSON loop: reads requests from \p In until EOF or a shutdown
   /// request, answering on \p Out. Returns a process exit code (0).
   int serve(std::istream &In, std::ostream &Out);
+
+  /// LineHandler: parses \p Line, applies admission control (queue bound,
+  /// shed with `overloaded`; pings exempt), and schedules the request on
+  /// the pool. Shutdown drains the pool, acknowledges, and returns
+  /// Submit::Shutdown.
+  Submit submitLine(const std::string &Line, ResponseFn Respond) override;
+
+  /// LineHandler: Pool.waitIdle().
+  void drain() override;
 
   /// Parses and handles one request line synchronously (test entry
   /// point). \p External, when given, is the request's cancellation

@@ -1,0 +1,168 @@
+//===- ShardSupervisor.cpp - Worker process lifecycle -------------------------//
+
+#include "service/ShardSupervisor.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dprle;
+using namespace dprle::service;
+
+namespace {
+
+/// Closes every descriptor the child inherited except \p Keep and the
+/// standard three. Inherited client sockets would otherwise keep peers
+/// from seeing EOF on disconnect, and inherited listen sockets would keep
+/// ports bound after the front end dies.
+void closeAllFdsExcept(int Keep) {
+  std::vector<int> ToClose;
+  if (DIR *D = ::opendir("/proc/self/fd")) {
+    int DirFd = ::dirfd(D);
+    while (struct dirent *E = ::readdir(D)) {
+      char *End = nullptr;
+      long Fd = std::strtol(E->d_name, &End, 10);
+      if (End == E->d_name || *End != '\0')
+        continue;
+      if (Fd <= 2 || Fd == Keep || Fd == DirFd)
+        continue;
+      ToClose.push_back(static_cast<int>(Fd));
+    }
+    ::closedir(D);
+  }
+  for (int Fd : ToClose)
+    ::close(Fd);
+}
+
+/// Waits for \p Pid with a grace period, escalating to SIGKILL: a worker
+/// wedged mid-solve cannot block front-end teardown forever.
+void reapWorker(pid_t Pid) {
+  if (Pid <= 0)
+    return;
+  for (int Tick = 0; Tick != 500; ++Tick) {
+    int Status = 0;
+    pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+    if (R == Pid || (R < 0 && errno == ECHILD))
+      return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::kill(Pid, SIGKILL);
+  ::waitpid(Pid, nullptr, 0);
+}
+
+} // namespace
+
+ShardSupervisor::ShardSupervisor(const ShardSupervisorOptions &Opts)
+    : Opts(Opts) {
+  Workers.resize(this->Opts.Shards == 0 ? 1 : this->Opts.Shards);
+  if (this->Opts.Shards == 0)
+    this->Opts.Shards = 1;
+}
+
+ShardSupervisor::~ShardSupervisor() { stopAll(); }
+
+int ShardSupervisor::spawnWorker(unsigned Shard, std::string *Err) {
+  int Fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0) {
+    if (Err)
+      *Err = std::string("socketpair: ") + std::strerror(errno);
+    return -1;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    if (Err)
+      *Err = std::string("fork: ") + std::strerror(errno);
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    return -1;
+  }
+  if (Pid == 0) {
+    // Worker child: a plain SolverService loop over the socketpair.
+    ::close(Fds[0]);
+    closeAllFdsExcept(Fds[1]);
+    {
+      FdStreamBuf InBuf(Fds[1]);
+      FdStreamBuf OutBuf(Fds[1]);
+      std::istream In(&InBuf);
+      std::ostream Out(&OutBuf);
+      SolverService Service(Opts.Worker);
+      Service.serve(In, Out);
+      Out.flush();
+    }
+    // _exit, not exit: parent-registered atexit handlers and static
+    // destructors must not run twice.
+    ::_exit(0);
+  }
+  ::close(Fds[1]);
+  Workers[Shard].Fd.reset(Fds[0]);
+  Workers[Shard].Pid = Pid;
+  return Fds[0];
+}
+
+bool ShardSupervisor::start(std::string *Err) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (unsigned I = 0; I != Opts.Shards; ++I) {
+    if (spawnWorker(I, Err) >= 0)
+      continue;
+    for (unsigned J = 0; J != I; ++J) {
+      Workers[J].Fd.reset();
+      reapWorker(Workers[J].Pid);
+      Workers[J].Pid = -1;
+    }
+    return false;
+  }
+  return true;
+}
+
+int ShardSupervisor::shardFd(unsigned Shard) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Shard >= Workers.size())
+    return -1;
+  return Workers[Shard].Fd.valid() ? Workers[Shard].Fd.get() : -1;
+}
+
+int ShardSupervisor::restartShard(unsigned Shard) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stopped || Shard >= Workers.size())
+    return -1;
+  Worker &W = Workers[Shard];
+  W.Fd.reset();
+  reapWorker(W.Pid);
+  W.Pid = -1;
+  if (W.Restarts >= Opts.MaxRestartsPerShard)
+    return -1;
+  ++W.Restarts;
+  return spawnWorker(Shard, nullptr);
+}
+
+void ShardSupervisor::halfCloseAll() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (Worker &W : Workers)
+    if (W.Fd.valid())
+      ::shutdown(W.Fd.get(), SHUT_WR);
+}
+
+void ShardSupervisor::stopAll() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stopped)
+    return;
+  Stopped = true;
+  for (Worker &W : Workers)
+    if (W.Fd.valid())
+      ::shutdown(W.Fd.get(), SHUT_WR);
+  for (Worker &W : Workers) {
+    reapWorker(W.Pid);
+    W.Pid = -1;
+    W.Fd.reset();
+  }
+}

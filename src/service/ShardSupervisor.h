@@ -1,0 +1,97 @@
+//===- ShardSupervisor.h - Worker process lifecycle -------------*- C++ -*-==//
+///
+/// \file
+/// Process management for the sharded service (Router.h,
+/// docs/DEPLOYMENT.md): forks one worker process per shard, each running a
+/// plain SolverService NDJSON loop over its half of a socketpair, and
+/// restarts workers that crash. The supervisor is pure lifecycle — spawn,
+/// reap, restart, tear down; all protocol (sequence rewriting, routing,
+/// response pumping) lives in the Router.
+///
+/// Each worker is an ordinary `dprle serve` loop, just headless: the child
+/// closes every inherited descriptor except its socketpair end (so a
+/// client disconnect at the front end is seen promptly — workers must not
+/// keep client sockets alive), serves until EOF or a shutdown request,
+/// flushes, and _exit(0)s without running parent atexit handlers.
+///
+/// Crash policy: a worker that dies is restarted with a cold cache, up to
+/// MaxRestartsPerShard times; past that the shard stays down and the
+/// Router sheds its traffic with `overloaded`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_SERVICE_SHARDSUPERVISOR_H
+#define DPRLE_SERVICE_SHARDSUPERVISOR_H
+
+#include "service/FdIo.h"
+#include "service/Service.h"
+
+#include <mutex>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace dprle {
+namespace service {
+
+struct ShardSupervisorOptions {
+  /// Worker process count.
+  unsigned Shards = 2;
+  /// Options each worker's SolverService runs with.
+  ServiceOptions Worker;
+  /// Restart budget per shard; a shard that crashes more often stays down.
+  unsigned MaxRestartsPerShard = 8;
+};
+
+class ShardSupervisor {
+public:
+  explicit ShardSupervisor(const ShardSupervisorOptions &Opts);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor &) = delete;
+  ShardSupervisor &operator=(const ShardSupervisor &) = delete;
+
+  /// Forks all workers. On failure returns false with \p Err set (workers
+  /// already forked are torn down).
+  bool start(std::string *Err);
+
+  unsigned numShards() const { return Opts.Shards; }
+
+  /// The parent end of shard \p Shard's socketpair; -1 when the shard is
+  /// down (restart budget exhausted or stopped).
+  int shardFd(unsigned Shard) const;
+
+  /// Reaps the dead worker behind \p Shard and forks a fresh one (cold
+  /// cache). Returns the new fd, or -1 when the restart budget is
+  /// exhausted — the shard stays down. The caller must serialize this
+  /// against writers to the shard's fd.
+  int restartShard(unsigned Shard);
+
+  /// Half-closes the write side of every worker socket: workers see EOF,
+  /// drain, flush their remaining responses, and exit. Readers on the
+  /// parent ends then see EOF in turn.
+  void halfCloseAll();
+
+  /// Reaps every worker (SIGKILL after a grace period) and closes fds.
+  void stopAll();
+
+private:
+  /// Forks the worker for \p Shard; returns the parent-end fd or -1.
+  int spawnWorker(unsigned Shard, std::string *Err);
+
+  struct Worker {
+    OwnedFd Fd;
+    pid_t Pid = -1;
+    unsigned Restarts = 0;
+  };
+
+  ShardSupervisorOptions Opts;
+  mutable std::mutex Mutex;
+  std::vector<Worker> Workers;
+  bool Stopped = false;
+};
+
+} // namespace service
+} // namespace dprle
+
+#endif // DPRLE_SERVICE_SHARDSUPERVISOR_H

@@ -13,9 +13,18 @@
 
 #include "automata/Decide.h"
 #include "automata/Serialize.h"
+#include "miniphp/Cfg.h"
+#include "miniphp/Corpus.h"
+#include "miniphp/Parser.h"
+#include "miniphp/SymExec.h"
+#include "miniphp/Unroll.h"
 #include "regex/RegexCompiler.h"
 #include "regex/RegexParser.h"
+#include "service/Connection.h"
+#include "service/FdIo.h"
+#include "service/Listener.h"
 #include "service/Protocol.h"
+#include "service/Router.h"
 #include "service/ThreadPool.h"
 #include "support/Cancellation.h"
 #include "support/FaultInjector.h"
@@ -26,10 +35,31 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+// fork()-based router tests are incompatible with ThreadSanitizer (TSan
+// does not follow forks of multithreaded processes); they skip there.
+#if defined(__SANITIZE_THREAD__)
+#define DPRLE_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DPRLE_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef DPRLE_TSAN_ACTIVE
+#define DPRLE_TSAN_ACTIVE 0
+#endif
 
 using namespace dprle;
 using namespace dprle::service;
@@ -774,6 +804,514 @@ TEST(ServiceTest, EveryFaultSiteYieldsWellFormedOutputAndALivePing) {
           << Spec << " -> " << Code;
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// FdIo: NDJSON framing over a byte stream
+//===----------------------------------------------------------------------===//
+
+TEST(FdIoTest, LineReaderHandlesPartialWritesCrlfAndUnterminatedTail) {
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+  // A slow writer: one logical line arrives in several writes, lines use
+  // both \n and \r\n, and the final line has no terminator at all.
+  std::thread Writer([&] {
+    auto Put = [&](const std::string &S) {
+      ASSERT_TRUE(writeAllFd(Fds[1], S.data(), S.size()));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    };
+    Put("{\"a\"");
+    Put(": 1}\r\n{\"b\":");
+    Put(" 2}\n");
+    Put("tail-without-newline");
+    ::close(Fds[1]);
+  });
+  FdLineReader Lines(Fds[0]);
+  EXPECT_EQ(Lines.readLine(), "{\"a\": 1}"); // \r stripped with the \n.
+  EXPECT_EQ(Lines.readLine(), "{\"b\": 2}");
+  EXPECT_EQ(Lines.readLine(), "tail-without-newline");
+  EXPECT_FALSE(Lines.readLine().has_value());
+  EXPECT_FALSE(Lines.failed()); // Clean EOF, not stream corruption.
+  Writer.join();
+  ::close(Fds[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Listener: the socket front end
+//===----------------------------------------------------------------------===//
+
+std::string uniqueSocketPath(const char *Tag) {
+  static std::atomic<unsigned> Counter{0};
+  return "/tmp/dprle-test-" +
+         std::to_string(static_cast<unsigned long>(::getpid())) + "-" + Tag +
+         "-" + std::to_string(Counter.fetch_add(1)) + ".sock";
+}
+
+OwnedFd connectUnixSocket(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return OwnedFd();
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return OwnedFd();
+  }
+  return OwnedFd(Fd);
+}
+
+OwnedFd connectTcpSocket(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return OwnedFd();
+  struct sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return OwnedFd();
+  }
+  return OwnedFd(Fd);
+}
+
+bool sendAll(const OwnedFd &Fd, const std::string &Data) {
+  return writeAllFd(Fd.get(), Data.data(), Data.size());
+}
+
+std::string pingLine(const std::string &Id) {
+  return "{\"id\": \"" + Id + "\", \"method\": \"ping\"}";
+}
+
+TEST(ListenerTest, ConcurrentUnixClientsEachGetTheirOwnResponses) {
+  ServiceOptions Opts;
+  Opts.Jobs = 2;
+  SolverService Service(Opts);
+  Listener Front(Service, ListenerOptions{});
+  std::string Path = uniqueSocketPath("multi");
+  std::string Err;
+  ASSERT_TRUE(Front.listenUnix(Path, &Err)) << Err;
+  Front.start();
+
+  constexpr int Clients = 4, PerClient = 4;
+  std::vector<std::thread> Threads;
+  for (int C = 0; C != Clients; ++C)
+    Threads.emplace_back([&, C] {
+      OwnedFd Fd = connectUnixSocket(Path);
+      ASSERT_TRUE(Fd.valid());
+      std::set<std::string> Want;
+      for (int I = 0; I != PerClient; ++I) {
+        std::string Id = "c" + std::to_string(C) + "-" + std::to_string(I);
+        Want.insert(Id);
+        // Alternate real work with pings: responses interleave in
+        // completion order across the shared pool.
+        std::string Line = I % 2 == 0 ? solveLine(Id, "var v; v <= /ab*/;")
+                                      : pingLine(Id);
+        ASSERT_TRUE(sendAll(Fd, Line + "\n"));
+      }
+      FdLineReader Lines(Fd.get());
+      std::set<std::string> Got;
+      for (int I = 0; I != PerClient; ++I) {
+        std::optional<std::string> Line = Lines.readLine();
+        ASSERT_TRUE(Line.has_value());
+        std::optional<Json> Resp = Json::parse(*Line);
+        ASSERT_TRUE(Resp.has_value()) << *Line;
+        EXPECT_TRUE(Resp->find("ok")->asBool()) << *Line;
+        Got.insert(Resp->find("id")->asString());
+      }
+      // No cross-talk: exactly this client's ids, each answered once.
+      EXPECT_EQ(Got, Want);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Front.stop();
+}
+
+TEST(ListenerTest, SlowWriterPartialLinesAndPipelinedBurstsAreFramed) {
+  SolverService Service((ServiceOptions()));
+  Listener Front(Service, ListenerOptions{});
+  std::string Path = uniqueSocketPath("framing");
+  std::string Err;
+  ASSERT_TRUE(Front.listenUnix(Path, &Err)) << Err;
+  Front.start();
+
+  OwnedFd Fd = connectUnixSocket(Path);
+  ASSERT_TRUE(Fd.valid());
+  FdLineReader Lines(Fd.get());
+
+  // One request dribbled a byte at a time across many segments.
+  std::string Dribble = pingLine("drip") + "\n";
+  for (char Ch : Dribble) {
+    ASSERT_TRUE(writeAllFd(Fd.get(), &Ch, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::optional<std::string> First = Lines.readLine();
+  ASSERT_TRUE(First.has_value());
+  std::optional<Json> Resp1 = Json::parse(*First);
+  ASSERT_TRUE(Resp1.has_value());
+  EXPECT_EQ(Resp1->find("id")->asString(), "drip");
+  EXPECT_TRUE(Resp1->find("ok")->asBool());
+
+  // Two requests pipelined into a single write: both must be answered.
+  ASSERT_TRUE(sendAll(Fd, pingLine("b1") + "\n" + pingLine("b2") + "\n"));
+  std::set<std::string> Got;
+  for (int I = 0; I != 2; ++I) {
+    std::optional<std::string> Line = Lines.readLine();
+    ASSERT_TRUE(Line.has_value());
+    Got.insert(Json::parse(*Line)->find("id")->asString());
+  }
+  EXPECT_EQ(Got, (std::set<std::string>{"b1", "b2"}));
+  Front.stop();
+}
+
+TEST(ListenerTest, ClientDisconnectMidRequestDropsResponseWithoutWedging) {
+  ServiceOptions Opts;
+  Opts.Jobs = 2;
+  SolverService Service(Opts);
+  Listener Front(Service, ListenerOptions{});
+  std::string Path = uniqueSocketPath("hangup");
+  std::string Err;
+  ASSERT_TRUE(Front.listenUnix(Path, &Err)) << Err;
+  Front.start();
+
+  uint64_t DroppedBefore = FrontEndStats::global().ResponsesDropped.get();
+  {
+    // Submit a solve whose answer (a deadline timeout) lands well after
+    // this scope closes the socket.
+    OwnedFd Fd = connectUnixSocket(Path);
+    ASSERT_TRUE(Fd.valid());
+    Json Req = Json::object();
+    Req["id"] = "orphan";
+    Req["method"] = "solve";
+    Json Params = Json::object();
+    Params["constraints"] = slowInstance();
+    Params["deadline_ms"] = 150;
+    Req["params"] = std::move(Params);
+    ASSERT_TRUE(sendAll(Fd, Req.dump(0) + "\n"));
+  }
+
+  // The worker is not wedged: a fresh client is served while (and after)
+  // the orphaned response is discarded.
+  OwnedFd Fd2 = connectUnixSocket(Path);
+  ASSERT_TRUE(Fd2.valid());
+  ASSERT_TRUE(sendAll(Fd2, pingLine("alive") + "\n"));
+  FdLineReader Lines(Fd2.get());
+  std::optional<std::string> Line = Lines.readLine();
+  ASSERT_TRUE(Line.has_value());
+  EXPECT_TRUE(Json::parse(*Line)->find("ok")->asBool());
+
+  // stop() drains the handler, so the orphaned solve has completed and
+  // its write has been attempted (and counted) by the time it returns.
+  Front.stop();
+  EXPECT_GE(FrontEndStats::global().ResponsesDropped.get(),
+            DroppedBefore + 1);
+}
+
+TEST(ListenerTest, PerConnectionInflightCapShedsWithRetryHint) {
+  ServiceOptions Opts;
+  Opts.Jobs = 1;
+  SolverService Service(Opts);
+  ListenerOptions LOpts;
+  LOpts.Conn.MaxInflight = 1;
+  LOpts.Conn.RetryAfterMsHint = 33;
+  Listener Front(Service, LOpts);
+  std::string Path = uniqueSocketPath("inflight");
+  std::string Err;
+  ASSERT_TRUE(Front.listenUnix(Path, &Err)) << Err;
+  Front.start();
+
+  OwnedFd Fd = connectUnixSocket(Path);
+  ASSERT_TRUE(Fd.valid());
+  // The head request occupies the single worker for its whole deadline;
+  // everything behind it exceeds MaxInflight=1 and sheds connection-side.
+  Json Slow = Json::object();
+  Slow["id"] = "slow";
+  Slow["method"] = "solve";
+  Json Params = Json::object();
+  Params["constraints"] = slowInstance();
+  Params["deadline_ms"] = 400;
+  Slow["params"] = std::move(Params);
+  std::string Burst = Slow.dump(0) + "\n";
+  for (int I = 0; I != 3; ++I)
+    Burst += solveLine("q-" + std::to_string(I), "var v; v <= /a/;") + "\n";
+  ASSERT_TRUE(sendAll(Fd, Burst));
+
+  FdLineReader Lines(Fd.get());
+  unsigned Shed = 0;
+  bool SlowAnswered = false;
+  for (int I = 0; I != 4; ++I) {
+    std::optional<std::string> Line = Lines.readLine();
+    ASSERT_TRUE(Line.has_value());
+    std::optional<Json> Resp = Json::parse(*Line);
+    ASSERT_TRUE(Resp.has_value()) << *Line;
+    if (Resp->find("id")->asString() == "slow") {
+      SlowAnswered = true;
+      continue;
+    }
+    EXPECT_EQ(errorCodeOf(*Resp), "overloaded");
+    const Json *Error = Resp->find("error");
+    ASSERT_NE(Error->find("retry_after_ms"), nullptr);
+    EXPECT_EQ(Error->find("retry_after_ms")->asUnsigned(), 33u);
+    ++Shed;
+  }
+  EXPECT_TRUE(SlowAnswered);
+  EXPECT_EQ(Shed, 3u);
+  Front.stop();
+}
+
+TEST(ListenerTest, TcpEphemeralPortServesAndReportsBoundPort) {
+  SolverService Service((ServiceOptions()));
+  Listener Front(Service, ListenerOptions{});
+  std::string Err;
+  ASSERT_TRUE(Front.listenTcp("127.0.0.1", 0, &Err)) << Err;
+  EXPECT_GT(Front.boundPort(), 0);
+  Front.start();
+
+  OwnedFd Fd = connectTcpSocket(Front.boundPort());
+  ASSERT_TRUE(Fd.valid());
+  ASSERT_TRUE(sendAll(Fd, pingLine("tcp") + "\n"));
+  FdLineReader Lines(Fd.get());
+  std::optional<std::string> Line = Lines.readLine();
+  ASSERT_TRUE(Line.has_value());
+  std::optional<Json> Resp = Json::parse(*Line);
+  ASSERT_TRUE(Resp.has_value());
+  EXPECT_EQ(Resp->find("id")->asString(), "tcp");
+  EXPECT_TRUE(Resp->find("result")->find("pong")->asBool());
+  Front.stop();
+}
+
+TEST(ListenerTest, ShutdownRequestOverSocketStopsRunAndUnlinksPath) {
+  SolverService Service((ServiceOptions()));
+  Listener Front(Service, ListenerOptions{});
+  std::string Path = uniqueSocketPath("shutdown");
+  std::string Err;
+  ASSERT_TRUE(Front.listenUnix(Path, &Err)) << Err;
+  Front.start();
+  std::thread RunThread([&] { EXPECT_EQ(Front.run(), 0); });
+
+  OwnedFd Fd = connectUnixSocket(Path);
+  ASSERT_TRUE(Fd.valid());
+  ASSERT_TRUE(sendAll(Fd, "{\"id\": \"bye\", \"method\": \"shutdown\"}\n"));
+  FdLineReader Lines(Fd.get());
+  std::optional<std::string> Ack = Lines.readLine();
+  ASSERT_TRUE(Ack.has_value());
+  std::optional<Json> Resp = Json::parse(*Ack);
+  ASSERT_TRUE(Resp.has_value());
+  EXPECT_EQ(Resp->find("id")->asString(), "bye");
+  EXPECT_TRUE(Resp->find("result")->find("shutting_down")->asBool());
+
+  RunThread.join();
+  // The front end closed our connection and removed the socket file.
+  EXPECT_FALSE(Lines.readLine().has_value());
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Router: structural sharding
+//===----------------------------------------------------------------------===//
+
+std::string decideLine(const Json &Id, const std::string &Lhs,
+                       const std::string &Rhs) {
+  Json Req = Json::object();
+  Req["id"] = Id;
+  Req["method"] = "decide";
+  Json Params = Json::object();
+  Params["query"] = "subset";
+  Params["lhs"] = serializeNfa(machineFor(Lhs));
+  Params["rhs"] = serializeNfa(machineFor(Rhs));
+  Req["params"] = std::move(Params);
+  return Req.dump(0);
+}
+
+TEST(RouterTest, StructuralRoutingIgnoresIdsAndSpreadsDistinctQueries) {
+  // No start(): shardFor is a pure function of the request line, so no
+  // worker processes are forked here.
+  RouterOptions ROpts;
+  ROpts.Shards = 4;
+  Router R(ROpts);
+
+  // Identical machines route identically whatever the id says.
+  EXPECT_EQ(R.shardFor(decideLine("first", "ab*", "a(b|c)*")),
+            R.shardFor(decideLine(9999, "ab*", "a(b|c)*")));
+  // Same for solve: the constraint machines decide, not id or extras.
+  std::string SolveA = solveLine("p", DisjunctiveInstance);
+  std::optional<Json> WithRetry = Json::parse(SolveA);
+  ASSERT_TRUE(WithRetry.has_value());
+  (*WithRetry)["id"] = "q";
+  (*WithRetry)["params"]["retry"] = 2;
+  EXPECT_EQ(R.shardFor(SolveA), R.shardFor(WithRetry->dump(0)));
+
+  // Distinct queries spread across shards (content-addressed, not all
+  // funneled to one worker).
+  std::set<unsigned> Used;
+  for (const char *Lhs : {"a", "ab", "abc*", "(a|b)*", "ab*c", "x(y|z)"})
+    Used.insert(R.shardFor(decideLine(1, Lhs, "a(b|c)*")));
+  EXPECT_GE(Used.size(), 2u);
+}
+
+/// Figure 11 corpus -> up to \p MaxTotal solve request lines (id, line),
+/// capped at two sink paths per file — the same instances
+/// bench_service.cpp pushes through the scheduler.
+std::vector<std::pair<std::string, std::string>>
+corpusRequests(size_t MaxTotal) {
+  using namespace dprle::miniphp;
+  std::vector<std::pair<std::string, std::string>> Out;
+  SymExecOptions SymOpts;
+  SymOpts.TaintPrune = true;
+  for (const Suite &S : figure11Suites()) {
+    for (const SuiteFile &F : S.Files) {
+      ParseResult P = parseProgram(F.Source);
+      if (!P.Ok)
+        continue;
+      Program Unrolled = unrollLoops(P.Prog, 3);
+      Cfg G = Cfg::build(Unrolled);
+      std::vector<PathCondition> Paths =
+          enumerateSinkPaths(Unrolled, G, AttackSpec::sqlQuote(), SymOpts);
+      for (size_t I = 0; I != Paths.size() && I != 2; ++I) {
+        std::string Id = S.Name + "/" + F.Name + "#" + std::to_string(I);
+        Json Req = Json::object();
+        Req["id"] = Id;
+        Req["method"] = "solve";
+        Json Params = Json::object();
+        Params["constraints"] = Paths[I].Instance.str();
+        Params["max_solutions"] = 1;
+        Req["params"] = std::move(Params);
+        Out.emplace_back(Id, Req.dump(0));
+        if (Out.size() == MaxTotal)
+          return Out;
+      }
+    }
+  }
+  return Out;
+}
+
+TEST(RouterTest, ShardedVerdictsMatchSingleProcessOnFigure11) {
+  if (DPRLE_TSAN_ACTIVE)
+    GTEST_SKIP() << "fork-based shard workers are incompatible with TSan";
+  std::vector<std::pair<std::string, std::string>> Batch = corpusRequests(12);
+  ASSERT_GE(Batch.size(), 4u);
+  std::string Input;
+  for (const auto &[Id, Line] : Batch)
+    Input += Line + "\n";
+
+  std::map<std::string, std::string> Reference;
+  {
+    std::istringstream In(Input);
+    std::ostringstream Out;
+    SolverService Single((ServiceOptions()));
+    ASSERT_EQ(Single.serve(In, Out), 0);
+    for (const Json &Resp : responsesOf(Out.str()))
+      Reference[Resp.find("id")->asString()] = verdictKey(Resp);
+  }
+  ASSERT_EQ(Reference.size(), Batch.size());
+
+  RouterOptions ROpts;
+  ROpts.Shards = 3;
+  Router R(ROpts);
+  std::string Err;
+  ASSERT_TRUE(R.start(&Err)) << Err;
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  EXPECT_EQ(serveStreams(R, In, Out), 0);
+  std::map<std::string, std::string> Sharded;
+  for (const Json &Resp : responsesOf(Out.str()))
+    Sharded[Resp.find("id")->asString()] = verdictKey(Resp);
+  R.stop();
+  EXPECT_EQ(Sharded, Reference);
+}
+
+TEST(RouterTest, FanOutAggregatesAndRepeatQueriesHitTheWarmShardCache) {
+  if (DPRLE_TSAN_ACTIVE)
+    GTEST_SKIP() << "fork-based shard workers are incompatible with TSan";
+  RouterOptions ROpts;
+  ROpts.Shards = 2;
+  Router R(ROpts);
+  std::string Err;
+  ASSERT_TRUE(R.start(&Err)) << Err;
+
+  // Structurally identical decides pin to one shard by construction...
+  std::string D1 = decideLine("d-1", "zq*x", "z(q|r)*x");
+  std::string D2 = decideLine("d-2", "zq*x", "z(q|r)*x");
+  EXPECT_EQ(R.shardFor(D1), R.shardFor(D2));
+
+  std::string Input = "{\"id\": \"s0\", \"method\": \"stats\"}\n" + D1 +
+                      "\n" + D2 + "\n" + pingLine("p") + "\n" +
+                      "{\"id\": \"s1\", \"method\": \"stats\"}\n";
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  EXPECT_EQ(serveStreams(R, In, Out), 0);
+  std::map<std::string, Json> ById;
+  for (const Json &Resp : responsesOf(Out.str()))
+    ById[Resp.find("id")->asString()] = Resp;
+  R.stop();
+  ASSERT_EQ(ById.size(), 5u);
+
+  // Both decides are answered identically (the repeat from cache).
+  const Json *V1 = resultOf(ById["d-1"]);
+  const Json *V2 = resultOf(ById["d-2"]);
+  ASSERT_NE(V1, nullptr);
+  ASSERT_NE(V2, nullptr);
+  EXPECT_EQ(V1->find("answer")->dump(0), V2->find("answer")->dump(0));
+
+  // ping aggregates shard health across the fleet.
+  const Json *Pong = resultOf(ById["p"]);
+  ASSERT_NE(Pong, nullptr);
+  EXPECT_TRUE(Pong->find("pong")->asBool());
+  EXPECT_EQ(Pong->find("shards")->asUnsigned(), 2u);
+  EXPECT_EQ(Pong->find("healthy_shards")->asUnsigned(), 2u);
+
+  // ... and the warm shard cache proves it: between the two aggregated
+  // stats snapshots the only decide traffic was d-1 (miss) and d-2,
+  // which must have hit the cache its twin populated.
+  auto Counter = [&](const char *Id, const char *Name) -> uint64_t {
+    const Json *C = ById[Id].find("result")->find("counters")->find(Name);
+    return C && C->isNumber() ? C->asUnsigned() : 0;
+  };
+  EXPECT_EQ(Counter("s1", "decide.cache_hits"),
+            Counter("s0", "decide.cache_hits") + 1);
+  EXPECT_GE(Counter("s1", "decide.cache_misses"),
+            Counter("s0", "decide.cache_misses") + 1);
+
+  // stats carries the router's own aggregation section.
+  const Json *RouterSec = ById["s1"].find("result")->find("router");
+  ASSERT_NE(RouterSec, nullptr);
+  EXPECT_EQ(RouterSec->find("shards")->asUnsigned(), 2u);
+  EXPECT_EQ(RouterSec->find("healthy_shards")->asUnsigned(), 2u);
+  EXPECT_GE(ById["s1"].find("result")->find("decision_cache")
+                ->find("answers")->asUnsigned(),
+            1u);
+}
+
+TEST(RouterTest, ShutdownFansOutAndAcksExactlyOnce) {
+  if (DPRLE_TSAN_ACTIVE)
+    GTEST_SKIP() << "fork-based shard workers are incompatible with TSan";
+  RouterOptions ROpts;
+  ROpts.Shards = 2;
+  Router R(ROpts);
+  std::string Err;
+  ASSERT_TRUE(R.start(&Err)) << Err;
+
+  std::istringstream In(solveLine("work", "var v; v <= /ab*/;") + "\n" +
+                        "{\"id\": \"bye\", \"method\": \"shutdown\"}\n" +
+                        pingLine("after") + "\n");
+  std::ostringstream Out;
+  EXPECT_EQ(serveStreams(R, In, Out), 0);
+  R.stop();
+
+  std::map<std::string, Json> ById;
+  for (const Json &Resp : responsesOf(Out.str()))
+    ById[Resp.find("id")->asString()] = Resp;
+  // The in-flight solve was answered before the single shutdown ack; the
+  // request behind the shutdown was never read (the loop stopped).
+  ASSERT_EQ(ById.size(), 2u);
+  EXPECT_NE(resultOf(ById["work"]), nullptr);
+  EXPECT_TRUE(ById["bye"].find("result")->find("shutting_down")->asBool());
+  EXPECT_EQ(ById.count("after"), 0u);
 }
 
 } // namespace

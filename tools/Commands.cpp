@@ -17,6 +17,8 @@
 #include "regex/NfaToRegex.h"
 #include "regex/RegexCompiler.h"
 #include "regex/RegexParser.h"
+#include "service/Listener.h"
+#include "service/Router.h"
 #include "service/Service.h"
 #include "service/ThreadPool.h"
 #include "solver/ConstraintParser.h"
@@ -243,8 +245,12 @@ void printUsage(std::ostream &Err) {
       << "              [--max-states-budget=N] [--max-transitions-budget=N]\n"
       << "              [--max-memory-bytes=N] [--max-queue=N]\n"
       << "              [--retry-after-ms=D] [--fault=<site>:<nth>]\n"
-      << "     NDJSON requests on stdin, one response line each; see\n"
-      << "     docs/SERVICE.md for the protocol and docs/ROBUSTNESS.md\n"
+      << "              [--listen=[host]:port | --unix-socket=<path>]\n"
+      << "              [--max-inflight=N] [--shards=N] [--max-restarts=N]\n"
+      << "     NDJSON requests on stdin (or over the socket with --listen /\n"
+      << "     --unix-socket; --shards=N forwards to N worker processes);\n"
+      << "     see docs/PROTOCOL.md for the wire format, docs/DEPLOYMENT.md\n"
+      << "     for operating the network service, and docs/ROBUSTNESS.md\n"
       << "     for budgets, backpressure, and fault injection\n";
 }
 
@@ -709,6 +715,11 @@ int dprle::tools::runServe(const std::vector<std::string> &Args,
                            std::istream &In, std::ostream &Out,
                            std::ostream &Err) {
   dprle::service::ServiceOptions Opts;
+  std::string ListenSpec;
+  std::string UnixPath;
+  uint64_t Shards = 0;
+  uint64_t MaxInflight = 0;
+  uint64_t MaxRestarts = 8;
   for (const std::string &Arg : Args) {
     uint64_t Value = 0;
     if (Arg.rfind("--jobs=", 0) == 0) {
@@ -747,6 +758,27 @@ int dprle::tools::runServe(const std::vector<std::string> &Args,
       if (!parseUnsignedOption(Arg, "--retry-after-ms=", Value, Err))
         return 2;
       Opts.RetryAfterMsHint = Value;
+    } else if (Arg.rfind("--listen=", 0) == 0) {
+      ListenSpec = Arg.substr(std::char_traits<char>::length("--listen="));
+      if (ListenSpec.empty()) {
+        Err << "error: --listen= expects [host]:port\n";
+        return 2;
+      }
+    } else if (Arg.rfind("--unix-socket=", 0) == 0) {
+      UnixPath = Arg.substr(std::char_traits<char>::length("--unix-socket="));
+      if (UnixPath.empty()) {
+        Err << "error: --unix-socket= expects a filesystem path\n";
+        return 2;
+      }
+    } else if (Arg.rfind("--shards=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--shards=", Shards, Err))
+        return 2;
+    } else if (Arg.rfind("--max-inflight=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--max-inflight=", MaxInflight, Err))
+        return 2;
+    } else if (Arg.rfind("--max-restarts=", 0) == 0) {
+      if (!parseUnsignedOption(Arg, "--max-restarts=", MaxRestarts, Err))
+        return 2;
     } else if (Arg.rfind("--fault=", 0) == 0) {
       // Same spec as the DPRLE_FAULT env var; the flag wins when both
       // are given (it arms later).
@@ -761,8 +793,82 @@ int dprle::tools::runServe(const std::vector<std::string> &Args,
       return 2;
     }
   }
-  dprle::service::SolverService Service(Opts);
-  return Service.serve(In, Out);
+  if (!ListenSpec.empty() && !UnixPath.empty()) {
+    Err << "error: --listen= and --unix-socket= are mutually exclusive\n";
+    return 2;
+  }
+
+  // The handler every transport feeds: sharded (a Router forwarding to
+  // worker processes) or local (one in-process SolverService).
+  std::unique_ptr<dprle::service::SolverService> Local;
+  std::unique_ptr<dprle::service::Router> Routed;
+  dprle::service::LineHandler *Handler = nullptr;
+  if (Shards > 0) {
+    dprle::service::RouterOptions ROpts;
+    ROpts.Shards = static_cast<unsigned>(Shards);
+    ROpts.Worker = Opts;
+    ROpts.MaxRestartsPerShard = static_cast<unsigned>(MaxRestarts);
+    ROpts.RetryAfterMsHint = Opts.RetryAfterMsHint;
+    Routed = std::make_unique<dprle::service::Router>(ROpts);
+    std::string RouterErr;
+    if (!Routed->start(&RouterErr)) {
+      Err << "error: failed to start shard workers: " << RouterErr << "\n";
+      return 1;
+    }
+    Handler = Routed.get();
+  } else {
+    Local = std::make_unique<dprle::service::SolverService>(Opts);
+    Handler = Local.get();
+  }
+
+  if (ListenSpec.empty() && UnixPath.empty()) {
+    // The classic stdio transport.
+    int Rc = dprle::service::serveStreams(*Handler, In, Out);
+    if (Routed)
+      Routed->stop();
+    return Rc;
+  }
+
+  dprle::service::ListenerOptions LOpts;
+  LOpts.Conn.MaxInflight = static_cast<size_t>(MaxInflight);
+  LOpts.Conn.RetryAfterMsHint = Opts.RetryAfterMsHint;
+  dprle::service::Listener Front(*Handler, LOpts);
+  std::string ListenErr;
+  std::string Announce;
+  if (!UnixPath.empty()) {
+    if (!Front.listenUnix(UnixPath, &ListenErr)) {
+      Err << "error: " << ListenErr << "\n";
+      return 1;
+    }
+    Announce = "unix:" + UnixPath;
+  } else {
+    std::string Host = "127.0.0.1";
+    size_t Colon = ListenSpec.rfind(':');
+    std::string PortStr =
+        Colon == std::string::npos ? ListenSpec : ListenSpec.substr(Colon + 1);
+    if (Colon != std::string::npos && Colon > 0)
+      Host = ListenSpec.substr(0, Colon);
+    if (PortStr.empty() ||
+        PortStr.find_first_not_of("0123456789") != std::string::npos ||
+        std::stoull(PortStr) > 65535) {
+      Err << "error: --listen= expects [host]:port with port in 0..65535\n";
+      return 2;
+    }
+    if (!Front.listenTcp(Host, static_cast<uint16_t>(std::stoull(PortStr)),
+                         &ListenErr)) {
+      Err << "error: " << ListenErr << "\n";
+      return 1;
+    }
+    Announce = Host + ":" + std::to_string(Front.boundPort());
+  }
+  // Scrapable by scripts and tests (port 0 resolves to the bound port).
+  Out << "listening on " << Announce << "\n";
+  Out.flush();
+  Front.start();
+  int Rc = Front.run();
+  if (Routed)
+    Routed->stop();
+  return Rc;
 }
 
 int dprle::tools::runMain(const std::vector<std::string> &Args,
