@@ -1,0 +1,183 @@
+//===- bench_audit.cpp - Shared multi-policy audit vs. N separate runs ----===//
+//
+// Gates the tentpole claim of the multi-policy audit engine: auditing all
+// registered policies in ONE shared pass (one parse, one CFG, one
+// taint/slice pre-pass, one symbolic-execution walk — auditSource) must
+// be measurably cheaper than N independent per-policy analyzeSource
+// sweeps, in BOTH wall time and decide.* cache misses, while reporting
+// verdicts identical to the separate runs on every file and policy.
+//
+// The corpus is the Figure 11 suites (the paper's SQL-only evaluation
+// set, where the shared pass must be *bit-identical* to a standalone run,
+// exploit witnesses included) plus the hand-written multi-class showcase
+// suite (miniphp/Corpus.h auditShowcase), whose files feed several sink
+// classes from the same filtered inputs so the per-policy constraint
+// systems share sub-structure the decision cache can exploit.
+//
+// Cache-miss accounting mirrors deployment: the "separate" mode clears
+// the decision cache before EACH per-policy sweep — four independent
+// audits are four processes, each starting cold — while the shared mode
+// clears once. On multi-class files the shared mode then provably decides
+// common sub-queries (condition languages, shared input constraints)
+// once where the separate mode re-decides them per policy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "automata/Decide.h"
+#include "miniphp/Analysis.h"
+#include "miniphp/Corpus.h"
+#include "miniphp/Policy.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+namespace {
+
+struct BenchFile {
+  std::string Label;
+  std::string Source;
+  bool Fig11 = false; ///< SQL-only corpus: gate exploit witnesses too.
+  AnalysisOptions Opts;
+};
+
+std::vector<BenchFile> corpus() {
+  std::vector<BenchFile> Files;
+  for (const Suite &S : figure11Suites()) {
+    for (const SuiteFile &F : S.Files) {
+      BenchFile B;
+      B.Label = S.Name + "/" + F.Name;
+      B.Source = F.Source;
+      B.Fig11 = true;
+      B.Opts.Solver.CanonicalizeConstants = F.Name == "secure.php";
+      Files.push_back(std::move(B));
+    }
+  }
+  Suite Showcase = auditShowcase();
+  for (const SuiteFile &F : Showcase.Files) {
+    BenchFile B;
+    B.Label = Showcase.Name + "/" + F.Name;
+    B.Source = F.Source;
+    Files.push_back(std::move(B));
+  }
+  return Files;
+}
+
+} // namespace
+
+int main() {
+  benchjson::BenchReport Report("audit");
+  const PolicyRegistry &Registry = PolicyRegistry::global();
+  std::vector<const Policy *> Policies;
+  for (const Policy &P : Registry.policies())
+    Policies.push_back(&P);
+  std::vector<BenchFile> Files = corpus();
+
+  std::printf("Multi-policy audit: one shared pass over %zu files x %zu "
+              "policies vs. %zu separate per-policy sweeps.\n\n",
+              Files.size(), Policies.size(), Policies.size());
+
+  // --- Shared mode: one audit per file, cache cleared once. -------------
+  DecisionCache::global().clear();
+  uint64_t SharedMissesBefore = DecideStats::global().CacheMisses;
+  std::vector<AuditResult> Shared;
+  Timer SharedClock;
+  for (const BenchFile &F : Files)
+    Shared.push_back(auditSource(F.Source, Policies, F.Opts));
+  double SharedSeconds = SharedClock.seconds();
+  uint64_t SharedMisses =
+      DecideStats::global().CacheMisses - SharedMissesBefore;
+
+  // --- Separate mode: per policy, a cold independent sweep. -------------
+  uint64_t SeparateMisses = 0;
+  double SeparateSeconds = 0.0;
+  // [policy][file]
+  std::vector<std::vector<AnalysisResult>> Separate(Policies.size());
+  for (size_t P = 0; P != Policies.size(); ++P) {
+    DecisionCache::global().clear();
+    uint64_t MissesBefore = DecideStats::global().CacheMisses;
+    Timer PolicyClock;
+    for (const BenchFile &F : Files)
+      Separate[P].push_back(
+          analyzeSource(F.Source, Policies[P]->Attack, F.Opts));
+    SeparateSeconds += PolicyClock.seconds();
+    SeparateMisses += DecideStats::global().CacheMisses - MissesBefore;
+  }
+
+  // --- Gate 1: per-file, per-policy verdict equality. -------------------
+  bool VerdictsMatch = true;
+  unsigned VulnerableFiles = 0;
+  for (size_t I = 0; I != Files.size(); ++I) {
+    const AuditResult &A = Shared[I];
+    if (!A.ParseOk) {
+      std::fprintf(stderr, "parse error in %s: %s\n",
+                   Files[I].Label.c_str(), A.ParseError.c_str());
+      return 1;
+    }
+    VulnerableFiles += A.anyVulnerable();
+    for (size_t P = 0; P != Policies.size(); ++P) {
+      const PolicyFinding &F = A.Findings[P];
+      const AnalysisResult &R = Separate[P][I];
+      bool Same = F.vulnerable() == R.vulnerable() &&
+                  F.SinksFound == R.SinksFound &&
+                  F.SinksProvenSafe == R.SinksProvenSafe &&
+                  F.SinkPaths == R.SinkPaths &&
+                  F.VulnerablePaths == R.VulnerablePaths &&
+                  F.SinkLine == R.SinkLine;
+      // On the SQL-only Figure 11 corpus the shared walk interns exactly
+      // the variables a standalone run does, so the whole report — the
+      // constraint count and the exploit witnesses included — must be
+      // bit-identical. (Multi-class showcase files may intern extra,
+      // verdict-neutral input variables; see runSymExecAll.)
+      if (Files[I].Fig11)
+        Same = Same && F.NumConstraints == R.NumConstraints &&
+               F.ExploitInputs == R.ExploitInputs &&
+               F.SliceLines == R.SliceLines;
+      if (!Same) {
+        std::fprintf(stderr, "verdict mismatch: %s policy %s\n",
+                     Files[I].Label.c_str(), Policies[P]->Id.c_str());
+        VerdictsMatch = false;
+      }
+    }
+  }
+
+  // --- Gate 2 + 3: the shared pass is cheaper on both axes. -------------
+  bool WallCheaper = SharedSeconds < SeparateSeconds;
+  bool MissesCheaper = SharedMisses < SeparateMisses;
+
+  std::printf("%-12s %14s %16s\n", "mode", "wall seconds", "decide misses");
+  std::printf("%-12s %14.3f %16llu\n", "shared", SharedSeconds,
+              static_cast<unsigned long long>(SharedMisses));
+  std::printf("%-12s %14.3f %16llu\n", "separate", SeparateSeconds,
+              static_cast<unsigned long long>(SeparateMisses));
+  std::printf("\nfiles: %zu (%u with some vulnerable policy)\n",
+              Files.size(), VulnerableFiles);
+  std::printf("verdicts %s across %zu policies\n",
+              VerdictsMatch ? "MATCH" : "DO NOT MATCH", Policies.size());
+  std::printf("shared pass wall time %s\n",
+              WallCheaper ? "CHEAPER" : "NOT CHEAPER");
+  std::printf("shared pass cache misses %s\n",
+              MissesCheaper ? "FEWER" : "NOT FEWER");
+
+  benchjson::BenchRun &Run = Report.addRun("audit_vs_separate");
+  Run.RealSeconds = SharedSeconds + SeparateSeconds;
+  Run.Counters = {
+      {"files", double(Files.size())},
+      {"policies", double(Policies.size())},
+      {"vulnerable_files", double(VulnerableFiles)},
+      {"shared_seconds", SharedSeconds},
+      {"separate_seconds", SeparateSeconds},
+      {"shared_decide_misses", double(SharedMisses)},
+      {"separate_decide_misses", double(SeparateMisses)},
+      {"verdicts_match", VerdictsMatch ? 1.0 : 0.0},
+      {"wall_cheaper", WallCheaper ? 1.0 : 0.0},
+      {"misses_cheaper", MissesCheaper ? 1.0 : 0.0},
+  };
+  Report.write();
+  return VerdictsMatch && WallCheaper && MissesCheaper ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+//===- cmd_injection_audit.cpp - Command injection audit ------------------===//
+//
+// Audits the same mini-PHP page twice with the policy registry's command
+// injection policy (miniphp/Policy.h): once as written — user input
+// concatenated straight into exec() — and once after the fix, routing
+// the input through escapeshellarg(). The first audit produces a
+// concrete shell-metacharacter exploit; the second proves the sink safe
+// because the sanitizer's transformer model emits only single-quoted,
+// quote-free strings, which cannot intersect the attack language.
+//
+// Build & run:  ./build/examples/cmd_injection_audit
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniphp/Analysis.h"
+#include "miniphp/Policy.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+namespace {
+
+// An admin page that shells out to ping with a user-supplied host. The
+// preg_match check requires a hostname-looking prefix but is unanchored
+// at the end, so "host; rm -rf /" style payloads pass the filter.
+const char *VulnerableSource = R"php(<?php
+$host = $_GET['host'];
+if (!preg_match('/^[a-z0-9.-]+/', $host)) {
+  unp_msgBox('Bad host.');
+  exit;
+}
+exec("ping -c 1 " . $host);
+?>)php";
+
+// The fix: escapeshellarg() wraps the argument in single quotes and the
+// model guarantees no quote or shell metacharacter escapes them.
+const char *FixedSource = R"php(<?php
+$host = $_GET['host'];
+$safe = escapeshellarg($host);
+exec("ping -c 1 " . $safe);
+?>)php";
+
+void report(const char *Label, const AuditResult &Audit) {
+  std::printf("%s\n", Label);
+  for (const PolicyFinding &F : Audit.Findings) {
+    std::printf("  %-5s %-10s (sinks: %u, proven safe: %u)\n",
+                F.PolicyId.c_str(),
+                F.vulnerable() ? "VULNERABLE"
+                : F.noSinks()  ? "no sinks"
+                               : "safe",
+                F.SinksFound, F.SinksProvenSafe);
+    if (!F.vulnerable())
+      continue;
+    std::printf("        sink at line %u; exploit:\n", F.SinkLine);
+    for (const auto &[Key, Value] : F.ExploitInputs)
+      std::printf("          %s = \"%s\"\n", Key.c_str(), Value.c_str());
+  }
+}
+
+} // namespace
+
+int main() {
+  const PolicyRegistry &Registry = PolicyRegistry::global();
+  std::vector<const Policy *> Policies;
+  for (const Policy &P : Registry.policies())
+    Policies.push_back(&P);
+
+  AuditResult Before = auditSource(VulnerableSource, Policies);
+  if (!Before.ParseOk) {
+    std::fprintf(stderr, "parse error: %s\n", Before.ParseError.c_str());
+    return 1;
+  }
+  report("before the fix (raw exec of user input):", Before);
+  if (!Before.anyVulnerable()) {
+    std::fprintf(stderr, "expected a command injection finding\n");
+    return 1;
+  }
+
+  AuditResult After = auditSource(FixedSource, Policies);
+  if (!After.ParseOk) {
+    std::fprintf(stderr, "parse error: %s\n", After.ParseError.c_str());
+    return 1;
+  }
+  report("after the fix (escapeshellarg):", After);
+  if (After.anyVulnerable()) {
+    std::fprintf(stderr, "escapeshellarg should have proven the sink safe\n");
+    return 1;
+  }
+  std::printf("escapeshellarg closes the hole: the sanitized language\n"
+              "contains no unquoted shell metacharacter, so the subset\n"
+              "check against the attack NFA is unsatisfiable.\n");
+  return 0;
+}

@@ -11,8 +11,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "miniphp/Analysis.h"
+#include "miniphp/Policy.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace dprle;
 using namespace dprle::miniphp;
@@ -35,7 +37,11 @@ echo $html;
 } // namespace
 
 int main() {
-  AnalysisResult R = analyzeSource(PageSource, AttackSpec::xssScriptTag());
+  // Policies come from the registry — the same table `dprle audit` and
+  // the parser's sink classification use (miniphp/Policy.h).
+  const PolicyRegistry &Registry = PolicyRegistry::global();
+  const Policy *Xss = Registry.byId("xss");
+  AnalysisResult R = analyzeSource(PageSource, Xss->Attack);
   if (!R.ParseOk) {
     std::fprintf(stderr, "parse error: %s\n", R.ParseError.c_str());
     return 1;
@@ -53,9 +59,18 @@ int main() {
     std::printf(" %u", Line);
   std::printf("\n");
 
-  // The same page is NOT SQL-injectable: there is no query() sink.
-  AnalysisResult Sql = analyzeSource(PageSource, AttackSpec::sqlQuote());
-  std::printf("SQL audit of the same page: %s\n",
-              Sql.vulnerable() ? "vulnerable" : "no query() sink reached");
+  // The same page is NOT SQL-injectable: there is no query() sink. One
+  // auditSource call checks every registered policy over a single parse,
+  // taint pass, and symbolic-execution walk.
+  std::vector<const Policy *> All;
+  for (const Policy &P : Registry.policies())
+    All.push_back(&P);
+  AuditResult Audit = auditSource(PageSource, All);
+  std::printf("full audit of the same page:\n");
+  for (const PolicyFinding &F : Audit.Findings)
+    std::printf("  %-5s %s\n", F.PolicyId.c_str(),
+                F.vulnerable() ? "VULNERABLE"
+                : F.noSinks()  ? "no sinks"
+                               : "safe");
   return 0;
 }

@@ -64,3 +64,88 @@ AnalysisResult dprle::miniphp::analyzeSource(const std::string &Source,
   }
   return Result;
 }
+
+bool AuditResult::anyVulnerable() const {
+  for (const PolicyFinding &F : Findings)
+    if (F.vulnerable())
+      return true;
+  return false;
+}
+
+bool AuditResult::anySinks() const {
+  for (const PolicyFinding &F : Findings)
+    if (F.SinksFound > 0)
+      return true;
+  return false;
+}
+
+AuditResult dprle::miniphp::auditSource(
+    const std::string &Source, const std::vector<const Policy *> &Policies,
+    const AnalysisOptions &Opts) {
+  AuditResult Result;
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.Ok) {
+    Result.ParseError = Parsed.Error + " (line " +
+                        std::to_string(Parsed.ErrorLine) + ")";
+    return Result;
+  }
+  InlineResult Inlined = inlineFunctions(Parsed.Prog);
+  if (!Inlined.Ok) {
+    Result.ParseError = Inlined.Error + " (line " +
+                        std::to_string(Inlined.ErrorLine) + ")";
+    return Result;
+  }
+  Result.ParseOk = true;
+
+  Program Prog = unrollLoops(Inlined.Prog, Opts.LoopUnroll);
+  Cfg G = Cfg::build(Prog);
+  Result.NumBlocks = G.numBlocks();
+
+  std::vector<AttackSpec> Specs;
+  Specs.reserve(Policies.size());
+  for (const Policy *P : Policies)
+    Specs.push_back(P->Attack);
+
+  SymExecOptions SymOpts = Opts.SymExec;
+  SymOpts.TaintPrune = Opts.TaintPrune;
+  std::vector<SymExecResult> Sym = runSymExecAll(Prog, G, Specs, SymOpts);
+
+  // The solve fan-out: per policy, the same loop analyzeSource runs —
+  // one fresh Solver per policy so per-policy behavior matches a
+  // standalone run exactly (the DecisionCache is process-wide either
+  // way, which is where the cross-policy sharing happens).
+  for (size_t I = 0; I != Policies.size(); ++I) {
+    PolicyFinding F;
+    F.PolicyId = Policies[I]->Id;
+    F.Summary = Policies[I]->Summary;
+    F.SinksFound = Sym[I].SinksFound;
+    F.SinksProvenSafe = Sym[I].SinksProvenSafe;
+    F.SinkPaths = Sym[I].Paths.size();
+
+    Solver TheSolver(Opts.Solver);
+    for (const PathCondition &PC : Sym[I].Paths) {
+      Timer Clock;
+      SolveResult SR = TheSolver.solve(PC.Instance);
+      double Seconds = Clock.seconds();
+      if (!SR.Satisfiable)
+        continue;
+      ++F.VulnerablePaths;
+      if (F.VulnerablePaths == 1) {
+        F.NumConstraints = PC.NumConstraints;
+        F.SolveSeconds = Seconds;
+        F.SinkLine = PC.SinkLine;
+        F.SliceLines = PC.SliceLines;
+        F.Stats = SR.Stats;
+        const Assignment &A = SR.Assignments.front();
+        for (const auto &[Key, Var] : PC.InputVariables) {
+          auto Witness = A.witness(Var);
+          F.ExploitInputs[Key] = Witness ? *Witness : "";
+        }
+      }
+      if (Opts.StopAtFirstVulnerability)
+        break;
+    }
+    Result.Findings.push_back(std::move(F));
+  }
+  return Result;
+}

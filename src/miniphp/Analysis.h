@@ -93,6 +93,57 @@ AnalysisResult analyzeSource(const std::string &Source,
                              const AttackSpec &Attack,
                              const AnalysisOptions &Opts = {});
 
+/// One policy's verdict within an audit: the per-policy slice of an
+/// AnalysisResult (parse state and CFG size are file-level and live on
+/// AuditResult).
+struct PolicyFinding {
+  /// Policy::Id of the audited policy ("sqli", "xss", ...).
+  std::string PolicyId;
+  /// Policy::Summary, for reports.
+  std::string Summary;
+
+  unsigned SinksFound = 0;
+  unsigned SinksProvenSafe = 0;
+  unsigned SinkPaths = 0;
+  unsigned VulnerablePaths = 0;
+
+  /// Statistics for the policy's first vulnerable path (mirrors
+  /// AnalysisResult).
+  unsigned NumConstraints = 0;
+  double SolveSeconds = 0.0;
+  unsigned SinkLine = 0;
+  SolverStats Stats;
+  std::map<std::string, std::string> ExploitInputs;
+  std::set<unsigned> SliceLines;
+
+  bool vulnerable() const { return VulnerablePaths > 0; }
+  bool noSinks() const { return SinksFound == 0; }
+};
+
+/// The report of one multi-policy audit of one source file.
+struct AuditResult {
+  bool ParseOk = false;
+  std::string ParseError;
+  /// |FG|: basic blocks in the file's CFG.
+  unsigned NumBlocks = 0;
+  /// One finding per audited policy, in the order given to auditSource.
+  std::vector<PolicyFinding> Findings;
+
+  bool anyVulnerable() const;
+  /// True when some audited policy found a sink to check.
+  bool anySinks() const;
+};
+
+/// Audits \p Source against every policy in \p Policies over ONE parse,
+/// one CFG, one taint/slice pre-pass, and one symbolic-execution walk
+/// (runSymExecAll); only the per-sink constraint solving fans out per
+/// policy, sharing the process-wide DecisionCache. Findings[i] carries
+/// verdicts identical to analyzeSource(Source, Policies[i]->Attack,
+/// Opts) — see runSymExecAll for the one variable-set caveat.
+AuditResult auditSource(const std::string &Source,
+                        const std::vector<const Policy *> &Policies,
+                        const AnalysisOptions &Opts = {});
+
 } // namespace miniphp
 } // namespace dprle
 

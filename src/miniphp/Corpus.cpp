@@ -392,3 +392,118 @@ std::vector<Suite> dprle::miniphp::figure11Suites() {
   }
   return Out;
 }
+
+Suite dprle::miniphp::auditShowcase() {
+  Suite S;
+  S.Name = "showcase";
+  S.Version = "1.0";
+  auto File = [&S](const char *Name, const char *Source, bool Vulnerable) {
+    SuiteFile F;
+    F.Name = Name;
+    F.Source = Source;
+    F.SeededVulnerable = Vulnerable;
+    S.Files.push_back(std::move(F));
+  };
+
+  // One filtered input feeding three sink classes, behind a guard-only
+  // session check. The guard variable never reaches a sink, so its
+  // solved language (Sigma* cut to the filter) is identical — machine
+  // and all — in the SQL, XSS, and shell constraint systems: under a
+  // shared audit the decision cache answers its emptiness/verification
+  // queries once, where three independent per-policy runs each pay them
+  // cold (the bench_audit cache-miss gate).
+  File("dashboard.php", R"php(<?php
+// guard-only session check, one input, three sink classes
+$sess = $_GET['sess'];
+if (!preg_match('/[a-z0-9]+$/', $sess)) { unp_msgBox('no session'); exit; }
+$id = $_GET['id'];
+if (!preg_match('/[0-9]+$/', $id)) { unp_msgBox('bad id'); exit; }
+$q = "SELECT * FROM logs WHERE id=" . $id;
+query($q);
+echo "<div>" . $id . "</div>";
+system("report --id " . $id);
+)php",
+       true);
+
+  // Every sink guarded by its sanitizer transformer: the taint pass
+  // proves all four policies safe without emitting a single path.
+  File("store.php", R"php(<?php
+// sanitizer transformer models end-to-end
+$name = $_POST['name'];
+$safe_sql = addslashes($name);
+query("SELECT * FROM users WHERE name=" . $safe_sql);
+$page = $_GET['page'];
+$html = htmlspecialchars($page);
+echo "<p>" . $html . "</p>";
+$file = basename($_POST['file']);
+fopen("uploads/" . $file);
+$target = escapeshellarg($_GET['target']);
+system("ping -c 1 " . $target);
+)php",
+       false);
+
+  // Path traversal: the raw file access is exploitable with ../ escapes
+  // and comes first (under the default stop-at-first-sink exploration a
+  // path ends at its first same-policy sink); the anchored whitelist
+  // makes the second access provably safe (the taken-edge refinement
+  // pins the language), which the taint stats still report.
+  File("browse.php", R"php(<?php
+// raw path vs. anchored whitelist
+$raw = $_GET['path'];
+fopen("data/" . $raw);
+$dir = $_GET['dir'];
+if (!preg_match('/^[a-z0-9_]+$/', $dir)) { unp_msgBox('bad dir'); exit; }
+include("pages/" . $dir);
+)php",
+       true);
+
+  // Mixed verdicts on one value: sanitized for SQL and the shell but
+  // echoed raw — only the XSS audit fires.
+  File("admin.php", R"php(<?php
+// sanitized for sql and shell, raw for html
+$user = $_POST['user'];
+if (!preg_match('/[0-9]+$/', $user)) { unp_msgBox('bad user'); exit; }
+$esc = addslashes($user);
+query("SELECT * FROM admin WHERE name=" . $esc);
+echo "Welcome back " . $user;
+$t = escapeshellarg($user);
+exec("usermod " . $t);
+)php",
+       true);
+
+  // Branchy SQL build plus a print() sink (classified from the registry,
+  // not the parser): one constant path solves to unsat, the other is
+  // exploitable. The filtered role check guards both sink classes
+  // without feeding either, so its queries are shared like
+  // dashboard.php's session check.
+  File("archive.php", R"php(<?php
+// equality-guarded query build behind a role check
+$role = $_POST['role'];
+if (!preg_match('/[a-z]+$/', $role)) { unp_msgBox('bad role'); exit; }
+$q = $_GET['q'];
+if ($q == 'all') { $sql = "SELECT * FROM docs"; }
+else { $sql = "SELECT * FROM docs WHERE tag=" . $q; }
+query($sql);
+print("results for " . $q);
+)php",
+       true);
+
+  // The unchecked flags input is exploitable (and audited first, so the
+  // default stop-at-first-sink mode reports it); a user-defined
+  // validator (inlined before analysis) makes the later shell and
+  // include sinks taint-provably safe.
+  File("cron.php", R"php(<?php
+function job_name($j) {
+  if (!preg_match('/^[a-z]+$/', $j)) { unp_msgBox('bad job'); exit; }
+  return $j;
+}
+$extra = $_GET['flags'];
+exec("logger " . $extra);
+$job = job_name($_GET['job']);
+system("run-parts jobs/" . $job);
+include("jobs/" . $job);
+)php",
+       true);
+
+  return S;
+}

@@ -75,6 +75,18 @@ struct Suite {
 /// total LOC, and number of vulnerable files.
 std::vector<Suite> figure11Suites();
 
+/// A hand-written multi-policy showcase suite for `dprle audit` and
+/// bench_audit: files mixing SQL-injection, XSS, path-traversal, and
+/// command-injection sinks — several fed by the *same* filtered inputs,
+/// so the per-policy constraint systems share sub-structure and a shared
+/// single-pass audit provably re-uses decision-cache entries that N
+/// independent per-policy runs each recompute — plus sanitizer
+/// transformer calls (addslashes / htmlspecialchars / basename /
+/// escapeshellarg) the taint pass proves safe without solving. Distinct
+/// from figure11Suites(): the Figure 11 corpus and its pinned baseline
+/// statistics are untouched.
+Suite auditShowcase();
+
 } // namespace miniphp
 } // namespace dprle
 

@@ -2,6 +2,7 @@
 
 #include "miniphp/Parser.h"
 #include "miniphp/Lexer.h"
+#include "miniphp/Policy.h"
 
 #include <cassert>
 
@@ -410,16 +411,16 @@ private:
     return std::make_unique<Stmt>(Stmt::Kind::Exit);
   }
 
-  /// Parses `ident ( args )` where the cursor is on the identifier.
-  /// query(...) becomes a Sink with its first argument; other callees
-  /// become opaque Call statements.
+  /// Parses `ident ( args )` where the cursor is on the identifier. The
+  /// parser is policy-agnostic: every call parses as a generic Call with
+  /// its first argument; parseProgram reclassifies the callees the
+  /// policy registry audits into Sinks afterwards (classifySinkCalls),
+  /// so new sink callees never require parser edits.
   StmtPtr parseCallTail(unsigned Line) {
     std::string Callee = cur().Text;
     advance();
     expect(Token::Kind::LParen, "'('");
-    bool IsSink = Callee == "query" || Callee == "mysql_query";
-    auto S = std::make_unique<Stmt>(IsSink ? Stmt::Kind::Sink
-                                           : Stmt::Kind::Call);
+    auto S = std::make_unique<Stmt>(Stmt::Kind::Call);
     S->Line = Line;
     S->Callee = std::move(Callee);
     if (cur().TokKind != Token::Kind::RParen) {
@@ -448,5 +449,11 @@ private:
 } // namespace
 
 ParseResult dprle::miniphp::parseProgram(const std::string &Source) {
-  return Parser(Source).run();
+  ParseResult Result = Parser(Source).run();
+  // Classification is by callee name, exactly like the historical
+  // hardcoded query()/mysql_query() check — a registered sink callee is
+  // a sink even if the program defines a function of the same name.
+  if (Result.Ok)
+    classifySinkCalls(Result.Prog);
+  return Result;
 }

@@ -1,0 +1,211 @@
+//===- Policy.cpp - Vulnerability policy registry -------------------------===//
+
+#include "miniphp/Policy.h"
+#include "automata/NfaOps.h"
+#include "regex/RegexCompiler.h"
+#include "support/CharSet.h"
+
+#include <string_view>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+AttackSpec AttackSpec::sqlQuote() {
+  AttackSpec Spec;
+  Spec.AttackLanguage = searchLanguage("'");
+  Spec.SinkCallees = {"query", "mysql_query"};
+  return Spec;
+}
+
+AttackSpec AttackSpec::xssScriptTag() {
+  AttackSpec Spec;
+  Spec.AttackLanguage = searchLanguage("<script");
+  Spec.SinkCallees = {"echo"};
+  return Spec;
+}
+
+bool AttackSpec::appliesTo(const std::string &Callee) const {
+  if (SinkCallees.empty())
+    return true;
+  for (const std::string &Name : SinkCallees)
+    if (Name == Callee)
+      return true;
+  return false;
+}
+
+namespace {
+
+CharSet charsOf(std::string_view Chars) {
+  CharSet Out;
+  for (char C : Chars)
+    Out.insert(static_cast<unsigned char>(C));
+  return Out;
+}
+
+/// Strings over an arbitrary alphabet restriction: (Set)*.
+Nfa starOver(const CharSet &Set) {
+  Nfa M;
+  M.setAccepting(M.start());
+  M.addTransition(M.start(), Set, M.start());
+  return M;
+}
+
+/// Path traversal: a relative escape (any string containing "../") or an
+/// absolute path (leading '/'). Built from whole-class CharSet edges via
+/// the generic combinators.
+Nfa pathAttackLanguage() {
+  Nfa Relative =
+      concat(concat(Nfa::sigmaStar(), Nfa::literal("../")), Nfa::sigmaStar());
+  Nfa Absolute = concat(Nfa::literal("/"), Nfa::sigmaStar());
+  return alternate(Relative, Absolute);
+}
+
+/// Command injection: a shell metacharacter occurring outside a
+/// single-quoted region. A three-state quote-parity scanner — each whole
+/// character class (the metacharacters, everything-but-quote) is one fat
+/// CharSet edge, so the machine stays at 3 states regardless of how many
+/// bytes the classes contain.
+Nfa cmdAttackLanguage() {
+  const CharSet Meta = charsOf(";|&`$<>\n");
+  const CharSet Quote = CharSet::singleton('\'');
+  const CharSet All = CharSet::all();
+  Nfa M;                            // state 0: outside quotes (depth 0)
+  StateId Outside = M.start();
+  StateId Inside = M.addState();    // inside a '...' region
+  StateId Attacked = M.addState();  // a metachar was seen at depth 0
+  M.addTransition(Outside, All - Meta - Quote, Outside);
+  M.addTransition(Outside, Quote, Inside);
+  M.addTransition(Inside, All - Quote, Inside);
+  M.addTransition(Inside, Quote, Outside);
+  M.addTransition(Outside, Meta, Attacked);
+  M.addTransition(Attacked, All, Attacked);
+  M.setAccepting(Attacked);
+  return M;
+}
+
+/// Single-quoted shell word: ' [^']* '. The faithful `'\''` encoding of
+/// embedded quotes would itself defeat a quote-parity scan, so the model
+/// abstracts escapeshellarg output to one quoted run — paired with the
+/// cmd attack language's abstraction level (docs/TAINT.md).
+Nfa escapeshellargOutput() {
+  return concat(concat(Nfa::literal("'"),
+                       starOver(~CharSet::singleton('\''))),
+                Nfa::literal("'"));
+}
+
+std::shared_ptr<const Nfa> share(Nfa M) {
+  return std::make_shared<const Nfa>(std::move(M));
+}
+
+Policy makePolicy(std::string Id, std::string Summary, Nfa Attack,
+                  std::vector<std::string> Sinks) {
+  Policy P;
+  P.Id = std::move(Id);
+  P.Summary = std::move(Summary);
+  P.Attack.AttackLanguage = std::move(Attack);
+  P.Attack.SinkCallees = std::move(Sinks);
+  return P;
+}
+
+SanitizerModel makeSanitizer(std::string Function, std::string Summary,
+                             Nfa Output) {
+  SanitizerModel S;
+  S.Function = std::move(Function);
+  S.Summary = std::move(Summary);
+  S.Output = share(std::move(Output));
+  return S;
+}
+
+} // namespace
+
+PolicyRegistry::PolicyRegistry() {
+  // Policy order is the report order of `dprle audit` and the bit order
+  // of the symbolic executor's per-path policy mask; keep it stable.
+  Policies.push_back(makePolicy(
+      "sqli", "SQL injection: a raw quote reaches a query sink",
+      searchLanguage("'"), {"query", "mysql_query"}));
+  Policies.push_back(makePolicy(
+      "xss", "cross-site scripting: a <script tag reaches page output",
+      searchLanguage("<script"), {"echo", "print"}));
+  Policies.push_back(makePolicy(
+      "path",
+      "path traversal: a ../ escape or absolute path reaches a file open",
+      pathAttackLanguage(), {"fopen", "include"}));
+  Policies.push_back(makePolicy(
+      "cmd",
+      "command injection: an unquoted shell metacharacter reaches a shell",
+      cmdAttackLanguage(), {"exec", "system"}));
+
+  Sanitizers.push_back(makeSanitizer(
+      "addslashes", "output modeled quote- and backslash-free",
+      starOver(~charsOf("'\"\\"))));
+  Sanitizers.push_back(makeSanitizer(
+      "htmlspecialchars", "output modeled free of <, >, and quotes",
+      starOver(~charsOf("<>\"'"))));
+  Sanitizers.push_back(makeSanitizer(
+      "basename", "output modeled free of path separators",
+      starOver(~charsOf("/"))));
+  Sanitizers.push_back(makeSanitizer(
+      "escapeshellarg", "output modeled as one single-quoted word",
+      escapeshellargOutput()));
+}
+
+const PolicyRegistry &PolicyRegistry::global() {
+  static const PolicyRegistry Instance;
+  return Instance;
+}
+
+const Policy *PolicyRegistry::byId(const std::string &Id) const {
+  const std::string Canonical = Id == "sql" ? "sqli" : Id;
+  for (const Policy &P : Policies)
+    if (P.Id == Canonical)
+      return &P;
+  return nullptr;
+}
+
+bool PolicyRegistry::isSinkCallee(const std::string &Callee) const {
+  for (const Policy &P : Policies)
+    if (P.Attack.appliesTo(Callee) && !P.Attack.SinkCallees.empty())
+      return true;
+  return false;
+}
+
+const SanitizerModel *
+PolicyRegistry::sanitizerFor(const std::string &Callee) const {
+  for (const SanitizerModel &S : Sanitizers)
+    if (S.Function == Callee)
+      return &S;
+  return nullptr;
+}
+
+std::string PolicyRegistry::idList() const {
+  std::string Out;
+  for (const Policy &P : Policies) {
+    if (!Out.empty())
+      Out += "|";
+    Out += P.Id;
+  }
+  return Out;
+}
+
+namespace {
+
+void classifyStmts(std::vector<StmtPtr> &Stmts) {
+  const PolicyRegistry &Registry = PolicyRegistry::global();
+  for (StmtPtr &S : Stmts) {
+    if (S->StmtKind == Stmt::Kind::Call &&
+        Registry.isSinkCallee(S->Callee) &&
+        !Registry.sanitizerFor(S->Callee))
+      S->StmtKind = Stmt::Kind::Sink;
+    classifyStmts(S->Then);
+    classifyStmts(S->Else);
+  }
+}
+
+} // namespace
+
+void dprle::miniphp::classifySinkCalls(Program &Prog) {
+  classifyStmts(Prog.Body);
+  for (FunctionDecl &Fn : Prog.Functions)
+    classifyStmts(Fn.Body);
+}

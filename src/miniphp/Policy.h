@@ -1,0 +1,138 @@
+//===- Policy.h - Vulnerability policy registry -----------------*- C++ -*-==//
+//
+// Part of dprle-cpp, a reproduction of Hooimeijer & Weimer, "A Decision
+// Procedure for Subset Constraints over Regular Languages" (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative description of everything the static analysis knows
+/// about a vulnerability class: which callees are dangerous sinks, which
+/// regular language over-approximates an attack at such a sink, and which
+/// library functions act as *sanitizer transformers* whose outputs are
+/// confined to a safe regular language.
+///
+/// The paper's evaluation audits one class (SQL injection, "the set of
+/// strings that contain at least one quote") but notes the decision
+/// procedure "is more widely applicable (e.g., to cross-site scripting or
+/// XML generation)". The registry realizes that: four built-in policies
+/// (SQLi, XSS, path traversal, command injection) share one parser, one
+/// taint fixpoint, one CFG slice, and one symbolic-execution walk — only
+/// the per-sink subset constraint fans out per policy (Analysis.h's
+/// auditSource). Attack languages for the large character classes (path
+/// separators, shell metacharacters) are built from CharSet edges so a
+/// class transition costs one edge, not |class| edges (the motivation of
+/// Keil & Thiemann's symbolic character predicates; see PAPERS.md).
+///
+/// Sanitizer models are *input-independent*: `transform` maps every input
+/// to the same output language `L_out = f(Sigma*)`. This is forced by the
+/// constraint system — RMA subset constraints are non-relational, so the
+/// symbolic executor cannot tie a sanitizer's output variable to its input
+/// — and it keeps the taint pass and the symbolic executor in exact
+/// agreement: both model `$x = san($y)` as "x is some string in L_out".
+/// The output languages are paired with the attack approximations at the
+/// same abstraction level (e.g. addslashes output is modeled as
+/// quote-free because the SQLi attack language only looks for a raw
+/// quote); see docs/TAINT.md, "Sanitizer transformer models".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPRLE_MINIPHP_POLICY_H
+#define DPRLE_MINIPHP_POLICY_H
+
+#include "automata/Nfa.h"
+#include "miniphp/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dprle {
+namespace miniphp {
+
+/// What counts as an attack at the sink.
+struct AttackSpec {
+  Nfa AttackLanguage;
+  /// Restrict to sinks whose callee matches (empty = every sink). SQL
+  /// audits look at query()/mysql_query(); XSS audits look at echo.
+  std::vector<std::string> SinkCallees;
+
+  /// The paper's running approximation: "the set of strings that contain
+  /// at least one quote — one common approximation for an unsafe SQL
+  /// query".
+  static AttackSpec sqlQuote();
+
+  /// Cross-site scripting (paper Section 2: "our decision procedure is
+  /// more widely applicable (e.g., to cross-site scripting or XML
+  /// generation)"): output containing a <script tag.
+  static AttackSpec xssScriptTag();
+
+  bool appliesTo(const std::string &Callee) const;
+};
+
+/// A library function whose result is confined to a fixed safe language.
+/// The model is input-independent (see the file comment): `$x = san($y)`
+/// binds x to an unknown string in `*Output`, regardless of y.
+struct SanitizerModel {
+  /// Callee name ("addslashes", "htmlspecialchars", ...).
+  std::string Function;
+  /// One-line description of the abstraction, for reports and docs.
+  std::string Summary;
+  /// L_out = f(Sigma*): every string the sanitizer can return, at the
+  /// abstraction level of the attack languages. Shared so the taint pass
+  /// and the decision cache see one structural machine per sanitizer.
+  std::shared_ptr<const Nfa> Output;
+};
+
+/// One vulnerability class: a stable id, the sinks it audits, and the
+/// attack language its sink constraint uses.
+struct Policy {
+  /// Stable identifier ("sqli", "xss", "path", "cmd"); the `--policy=`
+  /// and `--attack=` CLI values and the JSON finding key.
+  std::string Id;
+  /// One-line description for reports and usage text.
+  std::string Summary;
+  AttackSpec Attack;
+};
+
+/// The process-wide table of policies and sanitizer models. Immutable
+/// after construction; safe to read from pool workers.
+class PolicyRegistry {
+public:
+  static const PolicyRegistry &global();
+
+  const std::vector<Policy> &policies() const { return Policies; }
+  const std::vector<SanitizerModel> &sanitizers() const { return Sanitizers; }
+
+  /// Policy by id; accepts the historical alias "sql" for "sqli".
+  /// Returns nullptr for unknown ids.
+  const Policy *byId(const std::string &Id) const;
+
+  /// True when some registered policy audits \p Callee as a sink; the
+  /// parser uses this to classify call statements (Parser.cpp) so new
+  /// sink callees never require parser edits.
+  bool isSinkCallee(const std::string &Callee) const;
+
+  /// The sanitizer model for \p Callee, or nullptr.
+  const SanitizerModel *sanitizerFor(const std::string &Callee) const;
+
+  /// Comma-separated policy ids, for usage/error text.
+  std::string idList() const;
+
+private:
+  PolicyRegistry();
+
+  std::vector<Policy> Policies;
+  std::vector<SanitizerModel> Sanitizers;
+};
+
+/// Reclassifies Call statements whose callee a registered policy audits
+/// into Sink statements, recursing into branches and function bodies.
+/// The parser calls this after a successful parse; exposed for tests and
+/// for programs built programmatically.
+void classifySinkCalls(Program &Prog);
+
+} // namespace miniphp
+} // namespace dprle
+
+#endif // DPRLE_MINIPHP_POLICY_H

@@ -1,6 +1,7 @@
 //===- Slice.cpp - Backward slices from taint sinks -----------------------===//
 
 #include "miniphp/Slice.h"
+#include "miniphp/Policy.h"
 #include "support/Trace.h"
 
 #include <deque>
@@ -49,9 +50,12 @@ std::vector<char> reachesTargets(const Cfg &G,
   return Reaches;
 }
 
-/// Closes \p Vars over the assignments of \p G: while some `v = expr`
-/// assigns a relevant `v`, the variables of `expr` are relevant too.
-/// Only blocks with \p InScope set contribute definitions.
+/// Closes \p Vars over the definitions of \p G: while some `v = expr`
+/// assigns a relevant `v`, the variables of `expr` are relevant too. A
+/// sanitizer call `$v = san($y)` counts as a definition of v from $y —
+/// the *model's* output is independent of y (miniphp/Policy.h), but the
+/// human-facing slice keeps the data provenance. Only blocks with
+/// \p InScope set contribute definitions.
 void closeOverAssigns(const Cfg &G, const std::vector<char> &InScope,
                       std::set<std::string> &Vars) {
   bool Changed = true;
@@ -61,9 +65,15 @@ void closeOverAssigns(const Cfg &G, const std::vector<char> &InScope,
       if (!InScope[B])
         continue;
       for (const Stmt *S : G.block(B).Stmts) {
-        if (S->StmtKind != Stmt::Kind::Assign || !Vars.count(S->Target))
+        const StrExpr *Defining = nullptr;
+        if (S->StmtKind == Stmt::Kind::Assign)
+          Defining = &S->Value;
+        else if (S->StmtKind == Stmt::Kind::Call && !S->Target.empty() &&
+                 PolicyRegistry::global().sanitizerFor(S->Callee))
+          Defining = &S->Arg;
+        if (!Defining || !Vars.count(S->Target))
           continue;
-        for (const Atom &A : S->Value)
+        for (const Atom &A : *Defining)
           if (A.AtomKind == Atom::Kind::Variable &&
               Vars.insert(A.Text).second)
             Changed = true;
@@ -144,6 +154,25 @@ SliceResult dprle::miniphp::computeSlices(const Cfg &G, const TaintResult &T) {
       LiveTargets[It->second] = 1;
   }
   Result.ReachesLiveSink = reachesTargets(G, Preds, LiveTargets);
+  Result.Ok = true;
+  return Result;
+}
+
+AuditSliceResult
+dprle::miniphp::computeAuditSlices(const Cfg &G,
+                                   const std::vector<TaintResult> &Taints) {
+  AuditSliceResult Result;
+  Result.ReachesLiveSink.assign(G.numBlocks(), 0);
+  for (const TaintResult &T : Taints) {
+    SliceResult SR = computeSlices(G, T);
+    if (!SR.Ok)
+      return AuditSliceResult(); // any unusable pass poisons pruning
+    Result.RelevantVars.insert(SR.RelevantVars.begin(),
+                               SR.RelevantVars.end());
+    for (BlockId B = 0; B != G.numBlocks(); ++B)
+      Result.ReachesLiveSink[B] |= SR.ReachesLiveSink[B];
+    Result.PerPolicy.push_back(std::move(SR));
+  }
   Result.Ok = true;
   return Result;
 }

@@ -63,6 +63,27 @@ struct SliceResult {
 /// Computes backward slices over \p G for the sinks of \p T.
 SliceResult computeSlices(const Cfg &G, const TaintResult &T);
 
+/// Per-policy slices plus the cross-policy unions the shared multi-spec
+/// walk (runSymExecAll) prunes with: a block is explored while ANY
+/// policy's live sink is reachable, and an assignment is kept while its
+/// target is relevant to ANY policy.
+struct AuditSliceResult {
+  /// False when any input taint pass was unusable; consumers must then
+  /// skip all pruning.
+  bool Ok = false;
+  /// One SliceResult per TaintResult, in the same order.
+  std::vector<SliceResult> PerPolicy;
+  /// Union of the per-policy RelevantVars.
+  std::set<std::string> RelevantVars;
+  /// Per block: can it reach a live sink of any policy?
+  std::vector<char> ReachesLiveSink;
+};
+
+/// Slices every taint result of a shared multi-policy pass
+/// (analyzeTaintAll) over \p G, building the CFG predecessor lists once.
+AuditSliceResult computeAuditSlices(const Cfg &G,
+                                    const std::vector<TaintResult> &Taints);
+
 } // namespace miniphp
 } // namespace dprle
 

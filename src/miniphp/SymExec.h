@@ -24,6 +24,7 @@
 
 #include "miniphp/Ast.h"
 #include "miniphp/Cfg.h"
+#include "miniphp/Policy.h"
 #include "solver/Problem.h"
 #include "support/Budget.h"
 #include "support/Stats.h"
@@ -36,26 +37,6 @@
 
 namespace dprle {
 namespace miniphp {
-
-/// What counts as an attack at the sink.
-struct AttackSpec {
-  Nfa AttackLanguage;
-  /// Restrict to sinks whose callee matches (empty = every sink). SQL
-  /// audits look at query()/mysql_query(); XSS audits look at echo.
-  std::vector<std::string> SinkCallees;
-
-  /// The paper's running approximation: "the set of strings that contain
-  /// at least one quote — one common approximation for an unsafe SQL
-  /// query".
-  static AttackSpec sqlQuote();
-
-  /// Cross-site scripting (paper Section 2: "our decision procedure is
-  /// more widely applicable (e.g., to cross-site scripting or XML
-  /// generation)"): output containing a <script tag.
-  static AttackSpec xssScriptTag();
-
-  bool appliesTo(const std::string &Callee) const;
-};
 
 /// One path to a sink, already translated to an RMA instance.
 struct PathCondition {
@@ -144,6 +125,22 @@ std::vector<PathCondition> enumerateSinkPaths(const Program &P,
                                               const Cfg &G,
                                               const AttackSpec &Attack,
                                               const SymExecOptions &Opts = {});
+
+/// Audits every spec in \p Specs over ONE shared walk of \p G's acyclic
+/// paths: the CFG is traversed once, condition constraints are built once
+/// per path prefix, and each sink statement fans out into one
+/// PathCondition per spec that audits its callee. With Opts.TaintPrune the
+/// shared pre-pass (analyzeTaintAll + computeAuditSlices) also runs once.
+///
+/// Result[i] is bit-identical in verdict to `runSymExec(P, G, Specs[i],
+/// Opts)`: per-spec paths are emitted in the same order with the same
+/// constraint systems. (The one non-verdict caveat: under TaintPrune the
+/// shared walk keeps assignments relevant to *any* spec, so a path's
+/// InputVariables may name extra — unconstrained — inputs that a
+/// single-spec run would have skipped; see docs/TAINT.md.)
+std::vector<SymExecResult> runSymExecAll(const Program &P, const Cfg &G,
+                                         const std::vector<AttackSpec> &Specs,
+                                         const SymExecOptions &Opts = {});
 
 } // namespace miniphp
 } // namespace dprle

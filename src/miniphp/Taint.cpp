@@ -1,6 +1,7 @@
 //===- Taint.cpp - Forward taint dataflow over mini-PHP CFGs --------------===//
 
 #include "miniphp/Taint.h"
+#include "miniphp/Policy.h"
 #include "automata/Decide.h"
 #include "automata/NfaOps.h"
 #include "regex/RegexCompiler.h"
@@ -102,6 +103,8 @@ struct RegisterTaintStats {
     R.registerCounter("miniphp.taint.sinks_seen", &S.SinksSeen);
     R.registerCounter("miniphp.taint.sinks_proven_safe", &S.SinksProvenSafe);
     R.registerCounter("miniphp.taint.edges_refined", &S.EdgesRefined);
+    R.registerCounter("miniphp.taint.sanitizers_applied",
+                      &S.SanitizersApplied);
     R.registerCounter("miniphp.taint.approx_widened", &S.ApproxWidened);
     R.registerCounter("miniphp.taint.fixpoint_passes", &S.FixpointPasses);
     R.registerCounter("miniphp.taint.blocks_pruned", &S.BlocksPruned);
@@ -303,31 +306,35 @@ std::vector<BlockId> topologicalOrder(const Cfg &G,
 
 } // namespace
 
-TaintResult dprle::miniphp::analyzeTaint(const Program &P, const Cfg &G,
-                                         const AttackSpec &Attack,
-                                         const TaintOptions &Opts) {
+std::vector<TaintResult>
+dprle::miniphp::analyzeTaintAll(const Program &P, const Cfg &G,
+                                const std::vector<AttackSpec> &Specs,
+                                const TaintOptions &Opts) {
   DPRLE_TRACE_SPAN("taint_dataflow");
   (void)P; // statements are reached through the CFG blocks
   TaintStats &Stats = TaintStats::global();
   ++Stats.Runs;
 
-  TaintResult Result;
-  if (G.numBlocks() == 0) {
-    Result.Ok = true;
-    return Result;
+  std::vector<TaintResult> Results(Specs.size());
+  if (G.numBlocks() == 0 || Specs.empty()) {
+    for (TaintResult &R : Results)
+      R.Ok = true;
+    return Results;
   }
   std::vector<char> Reachable = reachableBlocks(G);
   std::vector<BlockId> Order = topologicalOrder(G, Reachable);
   if (Order.empty()) {
     // Cycle: no sound single-sweep order exists. Report failure; callers
     // fall back to un-pruned symbolic execution.
-    return Result;
+    return Results;
   }
 
   // Forward sweep in topological order: every predecessor's out-edge env
-  // is joined into InEnv before the block itself is processed.
+  // is joined into InEnv before the block itself is processed. The envs
+  // are spec-independent, so one sweep serves every spec; only the
+  // per-sink ProvenSafe check below consults an attack language.
   std::vector<std::optional<Env>> InEnv(G.numBlocks());
-  std::map<const Stmt *, SinkFact> Facts;
+  std::vector<std::map<const Stmt *, SinkFact>> Facts(Specs.size());
   InEnv[G.entry()] = Env();
   ++Stats.FixpointPasses;
   for (BlockId B : Order) {
@@ -343,32 +350,59 @@ TaintResult dprle::miniphp::analyzeTaint(const Program &P, const Cfg &G,
         break;
       }
       case Stmt::Kind::Sink: {
-        if (!Attack.appliesTo(S->Callee))
-          break;
-        TaintValue V = evalTaint(S->Arg, Current, Opts);
-        SinkFact Fact;
-        Fact.Sink = S;
-        Fact.Line = S->Line;
-        Fact.Callee = S->Callee;
-        Fact.Level = V.Level;
-        Fact.Sources = std::move(V.Sources);
-        Fact.ValueLines = std::move(V.DefLines);
-        Fact.ValueLines.insert(S->Line);
-        // Decision kernel: the lazy product BFS exits at the first
-        // accepting pair, and shared Approx machines (sigma-star, common
-        // literals) hit the decision cache across sinks and files.
-        Fact.ProvenSafe =
-            emptyIntersection(*V.Approx, Attack.AttackLanguage);
-        Facts.emplace(S, std::move(Fact));
+        bool Evaluated = false;
+        TaintValue V;
+        for (size_t I = 0; I != Specs.size(); ++I) {
+          if (!Specs[I].appliesTo(S->Callee))
+            continue;
+          if (!Evaluated) {
+            V = evalTaint(S->Arg, Current, Opts);
+            Evaluated = true;
+          }
+          SinkFact Fact;
+          Fact.Sink = S;
+          Fact.Line = S->Line;
+          Fact.Callee = S->Callee;
+          Fact.Level = V.Level;
+          Fact.Sources = V.Sources;
+          Fact.ValueLines = V.DefLines;
+          Fact.ValueLines.insert(S->Line);
+          // Decision kernel: the lazy product BFS exits at the first
+          // accepting pair, and shared Approx machines (sigma-star,
+          // common literals) hit the decision cache across sinks,
+          // specs, and files.
+          Fact.ProvenSafe =
+              emptyIntersection(*V.Approx, Specs[I].AttackLanguage);
+          Facts[I].emplace(S, std::move(Fact));
+        }
         break;
       }
-      case Stmt::Kind::Call:
-        // Mirror SymExec: opaque calls have no modeled string effect,
-        // but a call that *assigns* its (unknown) result loses all
-        // information about the target.
-        if (!S->Target.empty())
+      case Stmt::Kind::Call: {
+        // A registered sanitizer transformer ($x = addslashes($y))
+        // confines its result to the model's output language; the taint
+        // level and provenance still flow from the argument so reports
+        // can say "tainted but language-safe". Other calls that assign
+        // their (unknown) result lose all information about the target,
+        // mirroring SymExec.
+        if (S->Target.empty())
+          break;
+        const SanitizerModel *San =
+            PolicyRegistry::global().sanitizerFor(S->Callee);
+        if (!San) {
           Current[S->Target] = TaintValue::top();
+          break;
+        }
+        TaintValue Arg = evalTaint(S->Arg, Current, Opts);
+        TaintValue V;
+        V.Level = Arg.Level;
+        V.Approx = San->Output;
+        V.Sources = std::move(Arg.Sources);
+        V.DefLines = std::move(Arg.DefLines);
+        V.DefLines.insert(S->Line);
+        Current[S->Target] = std::move(V);
+        ++Stats.SanitizersApplied;
         break;
+      }
       case Stmt::Kind::Exit:
       case Stmt::Kind::Return:
         break;
@@ -394,26 +428,37 @@ TaintResult dprle::miniphp::analyzeTaint(const Program &P, const Cfg &G,
 
   // Emit facts in deterministic (block, statement) order; sinks in dead
   // blocks are trivially safe (no path from the entry reaches them).
-  for (BlockId B = 0; B != G.numBlocks(); ++B) {
-    for (const Stmt *S : G.block(B).Stmts) {
-      if (S->StmtKind != Stmt::Kind::Sink || !Attack.appliesTo(S->Callee))
-        continue;
-      auto It = Facts.find(S);
-      if (It != Facts.end()) {
-        Result.Sinks.push_back(std::move(It->second));
-        continue;
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    TaintResult &Result = Results[I];
+    for (BlockId B = 0; B != G.numBlocks(); ++B) {
+      for (const Stmt *S : G.block(B).Stmts) {
+        if (S->StmtKind != Stmt::Kind::Sink ||
+            !Specs[I].appliesTo(S->Callee))
+          continue;
+        auto It = Facts[I].find(S);
+        if (It != Facts[I].end()) {
+          Result.Sinks.push_back(std::move(It->second));
+          continue;
+        }
+        SinkFact Dead;
+        Dead.Sink = S;
+        Dead.Line = S->Line;
+        Dead.Callee = S->Callee;
+        Dead.Reachable = false;
+        Dead.ProvenSafe = true;
+        Result.Sinks.push_back(std::move(Dead));
       }
-      SinkFact Dead;
-      Dead.Sink = S;
-      Dead.Line = S->Line;
-      Dead.Callee = S->Callee;
-      Dead.Reachable = false;
-      Dead.ProvenSafe = true;
-      Result.Sinks.push_back(std::move(Dead));
     }
+    Stats.SinksSeen += Result.Sinks.size();
+    Stats.SinksProvenSafe += Result.numProvenSafe();
+    Result.Ok = true;
   }
-  Stats.SinksSeen += Result.Sinks.size();
-  Stats.SinksProvenSafe += Result.numProvenSafe();
-  Result.Ok = true;
-  return Result;
+  return Results;
+}
+
+TaintResult dprle::miniphp::analyzeTaint(const Program &P, const Cfg &G,
+                                         const AttackSpec &Attack,
+                                         const TaintOptions &Opts) {
+  std::vector<TaintResult> Results = analyzeTaintAll(P, G, {Attack}, Opts);
+  return std::move(Results.front());
 }

@@ -132,6 +132,18 @@ TaintResult analyzeTaint(const Program &P, const Cfg &G,
                          const AttackSpec &Attack,
                          const TaintOptions &Opts = {});
 
+/// Runs ONE forward sweep for every spec at once and returns per-spec
+/// results (parallel to \p Specs). The abstract environments do not
+/// depend on the attack spec — only the per-sink ProvenSafe verdict
+/// does — so the fixpoint, the per-edge refinements, and the shared
+/// value machines are computed once; each sink then checks its abstract
+/// language against each auditing spec's attack language (sharing
+/// DecisionCache entries when approximations repeat across sinks).
+/// Result[i].Sinks is identical to analyzeTaint(P, G, Specs[i], Opts).
+std::vector<TaintResult> analyzeTaintAll(const Program &P, const Cfg &G,
+                                         const std::vector<AttackSpec> &Specs,
+                                         const TaintOptions &Opts = {});
+
 /// Process-wide counters for the pass, published to the StatsRegistry
 /// under "miniphp.taint.*" (see docs/OBSERVABILITY.md).
 struct TaintStats {
@@ -143,6 +155,9 @@ struct TaintStats {
   RelaxedCounter SinksProvenSafe;
   /// Sanitizer edges applied (preg_match / equality refinements).
   RelaxedCounter EdgesRefined;
+  /// Sanitizer transformer models applied to calls ($x = addslashes(..)
+  /// and friends; miniphp/Policy.h).
+  RelaxedCounter SanitizersApplied;
   /// Values widened to Sigma-star at the state cap.
   RelaxedCounter ApproxWidened;
   /// Dataflow sweeps executed (1 per run on DAG CFGs).

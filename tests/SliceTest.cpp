@@ -1,0 +1,198 @@
+//===- SliceTest.cpp - Multi-policy backward slicing unit tests -----------===//
+//
+// Pins the per-policy backward slices on programs mixing several sink
+// classes (SQL injection, XSS, command injection, path traversal): each
+// policy's slice must keep exactly the variables feeding ITS sinks, the
+// audit-wide unions must combine the per-policy summaries, and the
+// shared slices must agree with what a standalone single-policy pass
+// computes — the invariant that lets runSymExecAll prune one walk for
+// all policies without changing any verdict (see docs/TAINT.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniphp/Parser.h"
+#include "miniphp/Policy.h"
+#include "miniphp/Slice.h"
+#include "miniphp/Taint.h"
+#include "miniphp/Unroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace dprle;
+using namespace dprle::miniphp;
+
+namespace {
+
+/// The registry's attack specs, in registry order (sqli, xss, path, cmd).
+std::vector<AttackSpec> registrySpecs() {
+  std::vector<AttackSpec> Specs;
+  for (const Policy &P : PolicyRegistry::global().policies())
+    Specs.push_back(P.Attack);
+  return Specs;
+}
+
+/// Parses, unrolls, builds the CFG, and runs the shared taint pass plus
+/// the audit slicer over every registered policy.
+struct AuditSliceRun {
+  Program Prog;
+  Cfg G;
+  std::vector<TaintResult> Taints;
+  AuditSliceResult Slices;
+
+  explicit AuditSliceRun(const std::string &Source) {
+    ParseResult R = parseProgram(Source);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Prog = unrollLoops(R.Prog, 3);
+    G = Cfg::build(Prog);
+    Taints = analyzeTaintAll(Prog, G, registrySpecs());
+    for (const TaintResult &T : Taints)
+      EXPECT_TRUE(T.Ok);
+    Slices = computeAuditSlices(G, Taints);
+    EXPECT_TRUE(Slices.Ok);
+  }
+
+  /// Index of \p Id in the registry's policy order.
+  static size_t policyIndex(const std::string &Id) {
+    const auto &Policies = PolicyRegistry::global().policies();
+    for (size_t I = 0; I != Policies.size(); ++I)
+      if (Policies[I].Id == Id)
+        return I;
+    ADD_FAILURE() << "unknown policy " << Id;
+    return 0;
+  }
+
+  const SliceResult &forPolicy(const std::string &Id) const {
+    return Slices.PerPolicy[policyIndex(Id)];
+  }
+};
+
+/// A straight-line program with one sink per class, each fed by its own
+/// input, plus one variable feeding nothing.
+const char *MultiClassSource = R"php(
+$id = $_GET['id'];
+$name = $_POST['name'];
+$color = $_GET['color'];
+$junk = $_GET['junk'];
+$sql = "SELECT * FROM t WHERE id=" . $id;
+query($sql);
+echo "<b>" . $name . "</b>";
+exec("paint " . $color);
+)php";
+
+} // namespace
+
+TEST(SliceTest, EachPolicyKeepsExactlyItsVariables) {
+  AuditSliceRun Run(MultiClassSource);
+
+  const SliceResult &Sql = Run.forPolicy("sqli");
+  ASSERT_EQ(Sql.Slices.size(), 1u);
+  EXPECT_EQ(Sql.RelevantVars, (std::set<std::string>{"id", "sql"}));
+
+  const SliceResult &Xss = Run.forPolicy("xss");
+  ASSERT_EQ(Xss.Slices.size(), 1u);
+  EXPECT_EQ(Xss.RelevantVars, (std::set<std::string>{"name"}));
+
+  const SliceResult &Cmd = Run.forPolicy("cmd");
+  ASSERT_EQ(Cmd.Slices.size(), 1u);
+  EXPECT_EQ(Cmd.RelevantVars, (std::set<std::string>{"color"}));
+
+  // No path sinks anywhere: an empty slice, not an error.
+  const SliceResult &Path = Run.forPolicy("path");
+  EXPECT_TRUE(Path.Ok);
+  EXPECT_TRUE(Path.Slices.empty());
+  EXPECT_TRUE(Path.RelevantVars.empty());
+}
+
+TEST(SliceTest, AuditUnionsCombinePoliciesAndDropDeadVariables) {
+  AuditSliceRun Run(MultiClassSource);
+
+  // The union keeps every variable some policy needs — and nothing else:
+  // $junk feeds no sink of any class, so the shared walk may skip its
+  // binding for all policies at once.
+  EXPECT_EQ(Run.Slices.RelevantVars,
+            (std::set<std::string>{"id", "sql", "name", "color"}));
+  EXPECT_EQ(Run.Slices.RelevantVars.count("junk"), 0u);
+
+  // Straight-line code with live sinks: every block reaches one.
+  ASSERT_EQ(Run.Slices.ReachesLiveSink.size(), Run.G.numBlocks());
+  for (unsigned B = 0; B != Run.G.numBlocks(); ++B)
+    EXPECT_TRUE(Run.Slices.ReachesLiveSink[B]) << "block " << B;
+}
+
+TEST(SliceTest, SharedSlicesMatchStandaloneSinglePolicyRuns) {
+  AuditSliceRun Run(MultiClassSource);
+  std::vector<AttackSpec> Specs = registrySpecs();
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    TaintResult Single = analyzeTaint(Run.Prog, Run.G, Specs[I]);
+    ASSERT_TRUE(Single.Ok);
+    SliceResult Expected = computeSlices(Run.G, Single);
+    const SliceResult &Shared = Run.Slices.PerPolicy[I];
+    ASSERT_EQ(Shared.Slices.size(), Expected.Slices.size());
+    for (size_t S = 0; S != Expected.Slices.size(); ++S) {
+      EXPECT_EQ(Shared.Slices[S].Line, Expected.Slices[S].Line);
+      EXPECT_EQ(Shared.Slices[S].Lines, Expected.Slices[S].Lines);
+      EXPECT_EQ(Shared.Slices[S].Vars, Expected.Slices[S].Vars);
+    }
+    EXPECT_EQ(Shared.RelevantVars, Expected.RelevantVars);
+    EXPECT_EQ(Shared.ReachesLiveSink, Expected.ReachesLiveSink);
+  }
+}
+
+TEST(SliceTest, GuardedSinkKeepsFilterAndGuardVariable) {
+  // The filter guards only the command sink; the XSS sink sits before
+  // the branch, so its slice must not absorb the guard variable.
+  AuditSliceRun Run(R"php(
+$name = $_POST['name'];
+echo "<b>" . $name . "</b>";
+$color = $_GET['color'];
+if (!preg_match('/[a-z]+$/', $color)) { unp_msgBox('bad'); exit; }
+exec("paint " . $color);
+)php");
+
+  const SliceResult &Cmd = Run.forPolicy("cmd");
+  ASSERT_EQ(Cmd.Slices.size(), 1u);
+  EXPECT_TRUE(Cmd.RelevantVars.count("color"));
+  // The unanchored filter does not prove the sink safe, so its lines —
+  // definition, filter, sink — are all in the slice.
+  EXPECT_TRUE(Cmd.Slices[0].Lines.count(4)); // $color = ...
+  EXPECT_TRUE(Cmd.Slices[0].Lines.count(5)); // the preg_match guard
+  EXPECT_TRUE(Cmd.Slices[0].Lines.count(6)); // the sink
+
+  // The echo sink shares a block with the branch terminator, and the
+  // slicer conservatively keeps the condition variables of every block
+  // on a path to the sink — including the sink's own block — so the
+  // guard variable rides along (sound: pruning keeps more, never less).
+  const SliceResult &Xss = Run.forPolicy("xss");
+  ASSERT_EQ(Xss.Slices.size(), 1u);
+  EXPECT_EQ(Xss.RelevantVars, (std::set<std::string>{"color", "name"}));
+}
+
+TEST(SliceTest, SanitizedSinksLeaveNoLiveResidue) {
+  // Every sink either sanitized or behind an anchored whitelist: nothing
+  // is live, so the audit-wide prune summaries are empty and the shared
+  // walk can skip everything.
+  AuditSliceRun Run(R"php(
+$name = $_POST['name'];
+$safe = addslashes($name);
+query("SELECT * FROM t WHERE name=" . $safe);
+$dir = $_GET['dir'];
+if (!preg_match('/^[a-z]+$/', $dir)) { unp_msgBox('bad'); exit; }
+include("pages/" . $dir);
+)php");
+
+  for (const char *Id : {"sqli", "path"}) {
+    const SliceResult &S = Run.forPolicy(Id);
+    ASSERT_EQ(S.Slices.size(), 1u) << Id;
+    EXPECT_TRUE(S.RelevantVars.empty()) << Id;
+  }
+  EXPECT_TRUE(Run.Slices.RelevantVars.empty());
+  for (unsigned B = 0; B != Run.G.numBlocks(); ++B)
+    EXPECT_FALSE(Run.Slices.ReachesLiveSink[B]) << "block " << B;
+
+  // The sanitizer call still counts as a defining statement in the
+  // human-facing slice of its sink (data provenance), even though the
+  // model output is input-independent.
+  const SinkSlice &SqlSlice = Run.forPolicy("sqli").Slices[0];
+  EXPECT_TRUE(SqlSlice.Vars.count("safe"));
+  EXPECT_TRUE(SqlSlice.Vars.count("name"));
+}

@@ -10,6 +10,7 @@
 #include "automata/NfaOps.h"
 #include "automata/Serialize.h"
 #include "regex/RegexCompiler.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 
@@ -270,6 +271,146 @@ TEST(ToolsTest, AutomataErrors) {
   EXPECT_EQ(R.Code, 2);
   EXPECT_NE(R.Err.find("regex"), std::string::npos);
   EXPECT_EQ(run({"automata", "info", "/nonexistent/file.nfa"}).Code, 2);
+}
+
+TEST(ToolsTest, AnalyzeAttackAcceptsRegistryPolicies) {
+  // Every registered policy id is a valid --attack= value; sql stays an
+  // alias for sqli, and unknown ids name the known set.
+  EXPECT_EQ(run({"analyze", "--attack=sql", "-"},
+                "query($_GET['q']);\n")
+                .Code,
+            0);
+  EXPECT_EQ(run({"analyze", "--attack=path", "-"},
+                "fopen(\"data/\" . $_GET['p']);\n")
+                .Code,
+            0);
+  EXPECT_EQ(run({"analyze", "--attack=cmd", "-"},
+                "system(\"ls \" . $_GET['d']);\n")
+                .Code,
+            0);
+  RunResult Bad = run({"analyze", "--attack=lisp", "-"}, "exit;\n");
+  EXPECT_EQ(Bad.Code, 2);
+  EXPECT_NE(Bad.Err.find("unknown policy"), std::string::npos);
+  EXPECT_NE(Bad.Err.find("sqli"), std::string::npos);
+}
+
+namespace {
+
+/// Parses the audit report a run printed on stdout.
+Json auditReport(const RunResult &R) {
+  std::string Error;
+  auto Doc = Json::parse(R.Out, &Error);
+  EXPECT_TRUE(Doc.has_value()) << Error << "\n" << R.Out;
+  return Doc ? *Doc : Json::object();
+}
+
+/// The finding object for \p PolicyId in the first file of the report.
+Json findingFor(const Json &Doc, const std::string &PolicyId) {
+  const Json *Files = Doc.find("files");
+  EXPECT_TRUE(Files && Files->size() == 1);
+  const Json *Findings = Files->elements().front().find("findings");
+  EXPECT_TRUE(Findings);
+  for (const Json &F : Findings->elements())
+    if (F.find("policy")->asString() == PolicyId)
+      return F;
+  ADD_FAILURE() << "no finding for " << PolicyId;
+  return Json::object();
+}
+
+} // namespace
+
+TEST(ToolsTest, AuditReportsEveryPolicyInOnePass) {
+  RunResult R = run({"audit", "-"},
+                    "$id = $_GET['id'];\n"
+                    "query(\"SELECT \" . $id);\n"
+                    "echo \"<div>\" . $id . \"</div>\";\n"
+                    "system(\"report \" . $id);\n");
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  Json Doc = auditReport(R);
+  EXPECT_EQ(Doc.find("policies")->size(), 4u);
+  EXPECT_EQ(findingFor(Doc, "sqli").find("verdict")->asString(),
+            "vulnerable");
+  EXPECT_EQ(findingFor(Doc, "xss").find("verdict")->asString(),
+            "vulnerable");
+  EXPECT_EQ(findingFor(Doc, "cmd").find("verdict")->asString(),
+            "vulnerable");
+  EXPECT_EQ(findingFor(Doc, "path").find("verdict")->asString(),
+            "no-sinks");
+  // The vulnerable findings carry exploit witnesses.
+  Json Sqli = findingFor(Doc, "sqli");
+  const Json *Exploit = Sqli.find("exploit_inputs");
+  ASSERT_TRUE(Exploit);
+  ASSERT_TRUE(Exploit->find("_GET:id"));
+  EXPECT_NE(Exploit->find("_GET:id")->asString().find("'"),
+            std::string::npos);
+}
+
+TEST(ToolsTest, AuditSanitizersProveSafeAndExitCodes) {
+  // All sinks sanitized: exit 1 (audited, nothing vulnerable).
+  RunResult Safe = run({"audit", "-"},
+                       "$n = $_POST['n'];\n"
+                       "$s = addslashes($n);\n"
+                       "query(\"SELECT \" . $s);\n"
+                       "$h = htmlspecialchars($n);\n"
+                       "echo \"<p>\" . $h . \"</p>\";\n");
+  EXPECT_EQ(Safe.Code, 1) << Safe.Err;
+  Json Doc = auditReport(Safe);
+  EXPECT_EQ(findingFor(Doc, "sqli").find("verdict")->asString(), "safe");
+  EXPECT_EQ(findingFor(Doc, "sqli").find("sinks_proven_safe")->asUnsigned(),
+            1u);
+  EXPECT_EQ(findingFor(Doc, "xss").find("verdict")->asString(), "safe");
+
+  // No sinks at all: exit 3.
+  EXPECT_EQ(run({"audit", "-"}, "$x = $_GET['a'];\n").Code, 3);
+
+  // Parse errors: exit 2.
+  EXPECT_EQ(run({"audit", "-"}, "$x = ;\n").Code, 2);
+}
+
+TEST(ToolsTest, AuditPolicyFilterAndBatchMode) {
+  TempDir Tmp;
+  std::string Vuln = Tmp.file("vuln.php", "query($_GET['q']);\n");
+  std::string Quiet = Tmp.file("quiet.php", "$x = $_GET['a'];\n");
+
+  // --policy= restricts the audited set; an xss-only audit of a
+  // SQL-vulnerable file sees no sinks.
+  RunResult Filtered = run({"audit", "--policy=xss", Vuln});
+  EXPECT_EQ(Filtered.Code, 3);
+  Json FDoc = auditReport(Filtered);
+  EXPECT_EQ(FDoc.find("policies")->size(), 1u);
+  EXPECT_EQ(FDoc.find("policies")->elements().front().asString(), "xss");
+
+  // Batch mode: both files in one report, summary counts the vulnerable
+  // one, and any vulnerability dominates the exit code.
+  RunResult Batch = run({"audit", Vuln, Quiet});
+  EXPECT_EQ(Batch.Code, 0);
+  Json BDoc = auditReport(Batch);
+  EXPECT_EQ(BDoc.find("files")->size(), 2u);
+  EXPECT_EQ(BDoc.find("summary")->find("files")->asUnsigned(), 2u);
+  EXPECT_EQ(BDoc.find("summary")->find("vulnerable_files")->asUnsigned(),
+            1u);
+
+  EXPECT_EQ(run({"audit", "--policy=bogus", Vuln}).Code, 2);
+}
+
+TEST(ToolsTest, AuditMatchesSeparateAnalyzeRuns) {
+  // The tentpole invariant at CLI level: the audit's per-policy verdicts
+  // equal four separate --attack= runs on the same file.
+  const std::string Source = "$u = $_POST['u'];\n"
+                             "if (!preg_match('/[0-9]+$/', $u)) { exit; }\n"
+                             "$e = addslashes($u);\n"
+                             "query(\"SELECT \" . $e);\n"
+                             "echo \"hi \" . $u;\n"
+                             "exec(\"usermod \" . $u);\n";
+  Json Doc = auditReport(run({"audit", "-"}, Source));
+  for (const std::string Id : {"sqli", "xss", "path", "cmd"}) {
+    int Single = run({"analyze", "--attack=" + Id, "-"}, Source).Code;
+    const std::string Verdict = findingFor(Doc, Id).find("verdict")->asString();
+    int Expected = Verdict == "vulnerable" ? 0
+                   : Verdict == "safe"     ? 1
+                                           : 3;
+    EXPECT_EQ(Single, Expected) << Id;
+  }
 }
 
 TEST(ToolsTest, CorpusWritesSuites) {

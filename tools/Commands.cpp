@@ -11,6 +11,7 @@
 #include "miniphp/Corpus.h"
 #include "miniphp/Inline.h"
 #include "miniphp/Parser.h"
+#include "miniphp/Policy.h"
 #include "miniphp/Slice.h"
 #include "miniphp/Taint.h"
 #include "miniphp/Unroll.h"
@@ -209,6 +210,18 @@ Json decideSection(const StatsRegistry::Snapshot &Before,
   return Out;
 }
 
+/// Resolves a `--attack=<id>` / `--policy=<id>` value against the policy
+/// registry; reports the known ids on failure.
+const miniphp::Policy *lookupPolicy(const std::string &Id,
+                                    std::ostream &Err) {
+  const miniphp::Policy *P = miniphp::PolicyRegistry::global().byId(Id);
+  if (!P)
+    Err << "error: unknown policy '" << Id << "' (known: "
+        << miniphp::PolicyRegistry::global().idList()
+        << "; alias sql for sqli)\n";
+  return P;
+}
+
 /// Parses a `--name=N` unsigned option value; returns false (and reports)
 /// on a malformed number.
 bool parseUnsignedOption(const std::string &Arg, const char *Prefix,
@@ -224,16 +237,25 @@ bool parseUnsignedOption(const std::string &Arg, const char *Prefix,
 }
 
 void printUsage(std::ostream &Err) {
+  std::string Ids = miniphp::PolicyRegistry::global().idList();
   Err << "usage:\n"
       << "  dprle solve [--first] [--jobs=N] [--no-decision-cache]\n"
       << "              [--stats=<file.json>] [--trace=<file.json>] "
          "<file.rma | ->\n"
-      << "  dprle analyze [--attack=sql|xss] [--all] [--no-taint-prune]\n"
+      << "  dprle analyze [--attack=<policy>] [--all] [--no-taint-prune]\n"
       << "                [--no-decision-cache] [--stats=<file.json>]\n"
       << "                [--trace=<file.json>] <file.php | ->\n"
-      << "  dprle taint [--attack=sql|xss] [--no-decision-cache]\n"
+      << "  dprle taint [--attack=<policy>] [--no-decision-cache]\n"
       << "              [--stats=<file.json>] [--trace=<file.json>] "
          "<file.php | ->\n"
+      << "     policies: " << Ids << " (default sqli; alias sql)\n"
+      << "  dprle audit [--policy=<id>[,<id>...]] [--all] "
+         "[--no-taint-prune]\n"
+      << "              [--no-decision-cache] [--stats=<file.json>]\n"
+      << "              [--trace=<file.json>] <file.php... | ->\n"
+      << "     audits every registered policy (" << Ids << ") in one\n"
+      << "     shared pass, JSON report on stdout; several input files\n"
+      << "     share the decision cache (see docs/TAINT.md)\n"
       << "  dprle automata <op> <machine...>\n"
       << "     ops: info, minimize, complement, dot, to-regex, shortest,\n"
       << "          enumerate, intersect, union, concat, equiv, subset,\n"
@@ -362,10 +384,12 @@ int dprle::tools::runAnalyze(const std::vector<std::string> &Args,
   ObservabilityOptions Obs;
   std::string Path;
   for (const std::string &Arg : Args) {
-    if (Arg == "--attack=sql") {
-      Attack = miniphp::AttackSpec::sqlQuote();
-    } else if (Arg == "--attack=xss") {
-      Attack = miniphp::AttackSpec::xssScriptTag();
+    if (Arg.rfind("--attack=", 0) == 0) {
+      const miniphp::Policy *P = lookupPolicy(
+          Arg.substr(std::char_traits<char>::length("--attack=")), Err);
+      if (!P)
+        return 2;
+      Attack = P->Attack;
     } else if (Arg == "--all") {
       Opts.StopAtFirstVulnerability = false;
       Opts.SymExec.StopAtFirstSink = false;
@@ -461,10 +485,12 @@ int dprle::tools::runTaint(const std::vector<std::string> &Args,
   unsigned LoopUnroll = miniphp::AnalysisOptions().LoopUnroll;
   std::string Path;
   for (const std::string &Arg : Args) {
-    if (Arg == "--attack=sql") {
-      Attack = miniphp::AttackSpec::sqlQuote();
-    } else if (Arg == "--attack=xss") {
-      Attack = miniphp::AttackSpec::xssScriptTag();
+    if (Arg.rfind("--attack=", 0) == 0) {
+      const miniphp::Policy *P = lookupPolicy(
+          Arg.substr(std::char_traits<char>::length("--attack=")), Err);
+      if (!P)
+        return 2;
+      Attack = P->Attack;
     } else if (Arg == "--no-decision-cache") {
       DecisionCache::global().setEnabled(false);
     } else if (Obs.consume(Arg)) {
@@ -563,6 +589,172 @@ int dprle::tools::runTaint(const std::vector<std::string> &Args,
   Out << "result: "
       << (ExitCode == 0 ? "all sinks proven safe" : "needs solving")
       << "\n";
+  return ExitCode;
+}
+
+int dprle::tools::runAudit(const std::vector<std::string> &Args,
+                           std::istream &In, std::ostream &Out,
+                           std::ostream &Err) {
+  miniphp::AnalysisOptions Opts;
+  ObservabilityOptions Obs;
+  std::vector<const miniphp::Policy *> Policies;
+  std::vector<std::string> Paths;
+  for (const std::string &Arg : Args) {
+    if (Arg.rfind("--policy=", 0) == 0) {
+      std::string Value =
+          Arg.substr(std::char_traits<char>::length("--policy="));
+      if (Value.empty()) {
+        Err << "error: --policy= requires a comma-separated policy list\n";
+        return 2;
+      }
+      // Comma-separated ids; repeated flags accumulate.
+      size_t Pos = 0;
+      while (Pos <= Value.size()) {
+        size_t Comma = Value.find(',', Pos);
+        size_t End = Comma == std::string::npos ? Value.size() : Comma;
+        const miniphp::Policy *P =
+            lookupPolicy(Value.substr(Pos, End - Pos), Err);
+        if (!P)
+          return 2;
+        Policies.push_back(P);
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    } else if (Arg == "--all") {
+      Opts.StopAtFirstVulnerability = false;
+      Opts.SymExec.StopAtFirstSink = false;
+    } else if (Arg == "--no-taint-prune") {
+      Opts.TaintPrune = false;
+    } else if (Arg == "--no-decision-cache") {
+      DecisionCache::global().setEnabled(false);
+    } else if (Obs.consume(Arg)) {
+      continue;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      Err << "error: unknown option " << Arg << "\n";
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (!Obs.ArgError.empty()) {
+    Err << Obs.ArgError;
+    return 2;
+  }
+  if (Paths.empty()) {
+    Err << "error: no input files (use '-' for stdin)\n";
+    return 2;
+  }
+  if (Policies.empty())
+    for (const miniphp::Policy &P : miniphp::PolicyRegistry::global().policies())
+      Policies.push_back(&P);
+
+  // The stats/trace "input" label: the single path, or a batch summary.
+  std::string InputLabel =
+      Paths.size() == 1
+          ? Paths.front()
+          : Paths.front() + " (+" + std::to_string(Paths.size() - 1) +
+                " more)";
+
+  StatsRegistry::Snapshot Before = StatsRegistry::global().snapshot();
+  Obs.beginTrace();
+
+  // Batch mode: every file goes through the same shared single pass, and
+  // the process-wide DecisionCache persists across files, so repeated
+  // filter languages and attack machines are decided once per batch.
+  Json Files = Json::array();
+  unsigned VulnerableFiles = 0;
+  bool AnyVulnerable = false;
+  bool AnySinks = false;
+  std::string ReadOrParseError;
+  for (const std::string &Path : Paths) {
+    std::string Source;
+    if (!readInput(Path, In, Source, Err)) {
+      ReadOrParseError = Path;
+      break;
+    }
+    miniphp::AuditResult R = miniphp::auditSource(Source, Policies, Opts);
+    if (!R.ParseOk) {
+      Err << Path << ": parse error: " << R.ParseError << "\n";
+      ReadOrParseError = Path;
+      break;
+    }
+    Json FileDoc = Json::object();
+    FileDoc["file"] = Path;
+    FileDoc["blocks"] = static_cast<uint64_t>(R.NumBlocks);
+    FileDoc["vulnerable"] = R.anyVulnerable();
+    FileDoc["any_sinks"] = R.anySinks();
+    Json Findings = Json::array();
+    for (const miniphp::PolicyFinding &F : R.Findings) {
+      Json FJ = Json::object();
+      FJ["policy"] = F.PolicyId;
+      FJ["verdict"] = F.vulnerable()  ? "vulnerable"
+                      : F.noSinks()   ? "no-sinks"
+                                      : "safe";
+      FJ["sinks_found"] = static_cast<uint64_t>(F.SinksFound);
+      FJ["sinks_proven_safe"] = static_cast<uint64_t>(F.SinksProvenSafe);
+      FJ["sink_paths"] = static_cast<uint64_t>(F.SinkPaths);
+      FJ["vulnerable_paths"] = static_cast<uint64_t>(F.VulnerablePaths);
+      if (F.vulnerable()) {
+        FJ["sink_line"] = static_cast<uint64_t>(F.SinkLine);
+        FJ["num_constraints"] = static_cast<uint64_t>(F.NumConstraints);
+        FJ["solve_seconds"] = F.SolveSeconds;
+        Json Exploit = Json::object();
+        for (const auto &[Key, Value] : F.ExploitInputs)
+          Exploit[Key] = Value;
+        FJ["exploit_inputs"] = std::move(Exploit);
+        Json Slice = Json::array();
+        for (unsigned Line : F.SliceLines)
+          Slice.push(static_cast<uint64_t>(Line));
+        FJ["slice_lines"] = std::move(Slice);
+      }
+      Findings.push(std::move(FJ));
+    }
+    FileDoc["findings"] = std::move(Findings);
+    Files.push(std::move(FileDoc));
+    if (R.anyVulnerable())
+      ++VulnerableFiles;
+    AnyVulnerable = AnyVulnerable || R.anyVulnerable();
+    AnySinks = AnySinks || R.anySinks();
+  }
+
+  bool ArtifactsOk = Obs.finishTrace("audit", InputLabel, Err);
+  if (!ReadOrParseError.empty())
+    return 2;
+  int ExitCode = AnyVulnerable ? 0 : (AnySinks ? 1 : 3);
+
+  Json Doc = ObservabilityOptions::envelope("audit", InputLabel);
+  Json PolicyIds = Json::array();
+  for (const miniphp::Policy *P : Policies)
+    PolicyIds.push(P->Id);
+  Doc["policies"] = std::move(PolicyIds);
+  Doc["files"] = std::move(Files);
+  Json Summary = Json::object();
+  Summary["files"] = static_cast<uint64_t>(Paths.size());
+  Summary["vulnerable_files"] = static_cast<uint64_t>(VulnerableFiles);
+  Summary["exit_code"] = ExitCode;
+  Doc["summary"] = std::move(Summary);
+
+  if (!Obs.StatsPath.empty()) {
+    Json Stats = ObservabilityOptions::envelope("audit", InputLabel);
+    Json Result = Json::object();
+    Result["files"] = static_cast<uint64_t>(Paths.size());
+    Result["vulnerable_files"] = static_cast<uint64_t>(VulnerableFiles);
+    Result["exit_code"] = ExitCode;
+    Stats["result"] = std::move(Result);
+    StatsRegistry::Snapshot After = StatsRegistry::global().snapshot();
+    Stats["taint"] = taintSection(Before, After);
+    Stats["automata"] = automataSection(Before, After);
+    Stats["decide"] = decideSection(Before, After);
+    Stats["symexec"] = prefixSection(Before, After, "miniphp.symexec.");
+    ArtifactsOk =
+        ObservabilityOptions::writeJson(Obs.StatsPath, Stats, Err) &&
+        ArtifactsOk;
+  }
+  if (!ArtifactsOk)
+    return 2;
+
+  Out << Doc.dump() << "\n";
   return ExitCode;
 }
 
@@ -885,6 +1077,8 @@ int dprle::tools::runMain(const std::vector<std::string> &Args,
     return runAnalyze(Rest, In, Out, Err);
   if (Args[0] == "taint")
     return runTaint(Rest, In, Out, Err);
+  if (Args[0] == "audit")
+    return runAudit(Rest, In, Out, Err);
   if (Args[0] == "automata")
     return runAutomata(Rest, Out, Err);
   if (Args[0] == "corpus")

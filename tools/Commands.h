@@ -7,8 +7,9 @@
 ///
 /// Subcommands:
 ///   dprle solve [--first] [--jobs=N] <file.rma | ->  solve a constraint file
-///   dprle analyze [--attack=sql|xss] <file.php>  find injection exploits
-///   dprle taint [--attack=sql|xss] <file.php>    taint/slice lint report
+///   dprle analyze [--attack=<policy>] <file.php> find injection exploits
+///   dprle taint [--attack=<policy>] <file.php>   taint/slice lint report
+///   dprle audit [--policy=<id>,...] <file.php...>  all-policy JSON audit
 ///   dprle automata <op> <machine...>             automata calculator
 ///   dprle corpus <directory>                     dump the Fig. 11 corpus
 ///   dprle serve [--jobs=N] [--deadline-ms=D] [--max-states=N]
@@ -18,7 +19,15 @@
 ///                (budget/backpressure/fault-injection knobs are documented
 ///                in docs/ROBUSTNESS.md)
 ///
-/// `solve`, `analyze`, and `taint` additionally accept
+/// `analyze` and `taint` audit ONE policy per run (`--attack=` takes any
+/// registered policy id: sqli, xss, path, cmd, plus the historical alias
+/// sql). `audit` checks every registered policy — or the `--policy=`
+/// subset — in a single shared pass (miniphp/Analysis.h auditSource) and
+/// prints a machine-readable JSON report on stdout; it accepts multiple
+/// input files, amortizing the process-wide decision cache across the
+/// whole batch. The report schema is documented in docs/TAINT.md.
+///
+/// `solve`, `analyze`, `taint`, and `audit` additionally accept
 /// `--stats=<file.json>` and `--trace=<file.json>`, which emit
 /// machine-readable run statistics and a hierarchical phase trace; the
 /// schemas are documented in docs/OBSERVABILITY.md.
@@ -28,6 +37,8 @@
 ///   analyze  0 vulnerable / 1 not vulnerable / 3 no sinks to audit
 ///   taint    0 every sink proven safe / 1 some sink needs solving /
 ///            3 no sinks
+///   audit    0 some policy vulnerable in some file / 1 sinks audited,
+///            none vulnerable / 3 no sinks anywhere
 ///   automata 0 yes (equiv/subset/accepts; or success) / 1 no
 ///   serve    0 clean stop (EOF or shutdown request); per-request errors
 ///            are structured protocol responses, never exit codes
@@ -59,6 +70,11 @@ int runAnalyze(const std::vector<std::string> &Args, std::istream &In,
 
 /// `dprle taint` — standalone taint/slice lint report (no solving).
 int runTaint(const std::vector<std::string> &Args, std::istream &In,
+             std::ostream &Out, std::ostream &Err);
+
+/// `dprle audit` — multi-policy single-pass vulnerability audit with a
+/// JSON report on stdout.
+int runAudit(const std::vector<std::string> &Args, std::istream &In,
              std::ostream &Out, std::ostream &Err);
 
 /// `dprle automata` — the automata calculator.
